@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the hot kernels: routing, fair-share
+//! rate computation, switch aggregation, policy-table updates, grouping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hs_model::fit::least_squares;
+use hs_simnet::fairshare::{compute_rates, FlowDemand};
+use hs_switch::{AggMode, FixPoint, InaDataplane, InaPacket, JobConfig, JobId, WorkerId};
+use hs_topology::builders::{testbed, xtracks, XTracksConfig};
+use hs_topology::routing::{k_shortest_paths, shortest_path};
+use hs_topology::{AllPairs, LinkWeight};
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = xtracks(&XTracksConfig::two_tracks(2));
+    let gpus = topo.all_gpus();
+    c.bench_function("dijkstra_single_96gpu", |b| {
+        b.iter(|| {
+            shortest_path(
+                &topo.graph,
+                gpus[0],
+                gpus[gpus.len() - 1],
+                LinkWeight::Latency,
+                None,
+            )
+        })
+    });
+    c.bench_function("all_pairs_16gpu_testbed", |b| {
+        let t = testbed();
+        let nodes = t.all_gpus();
+        b.iter(|| AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None))
+    });
+    c.bench_function("yen_k3_96gpu", |b| {
+        b.iter(|| {
+            k_shortest_paths(
+                &topo.graph,
+                gpus[0],
+                gpus[40],
+                3,
+                LinkWeight::Latency,
+                None,
+            )
+        })
+    });
+}
+
+fn bench_fairshare(c: &mut Criterion) {
+    // 200 links, 100 flows of 3 hops.
+    let caps = vec![100e9; 200];
+    let paths: Vec<Vec<usize>> = (0..100)
+        .map(|i| vec![i % 200, (i * 7 + 3) % 200, (i * 13 + 11) % 200])
+        .collect();
+    c.bench_function("fairshare_100flows_200links", |b| {
+        b.iter(|| {
+            let demands: Vec<FlowDemand<'_>> = paths
+                .iter()
+                .map(|p| FlowDemand {
+                    links: p,
+                    weight: 1.0,
+                })
+                .collect();
+            compute_rates(&caps, &demands)
+        })
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    c.bench_function("switch_aggregate_64lane_packet", |b| {
+        b.iter_batched(
+            || {
+                let mut dp = InaDataplane::new(64, 64);
+                dp.admit_job(
+                    JobId(0),
+                    JobConfig {
+                        fanin: 8,
+                        window: 16,
+                        fixpoint: FixPoint::default(),
+                        mode: AggMode::SwitchMlSync,
+                    },
+                )
+                .unwrap();
+                dp
+            },
+            |mut dp| {
+                for seq in 0..16u32 {
+                    for w in 0..8u32 {
+                        dp.process(&InaPacket {
+                            job: JobId(0),
+                            worker: WorkerId(w),
+                            seq,
+                            values: vec![1.0; 64],
+                        });
+                    }
+                }
+                dp
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|i| vec![i as f64, (i * i % 97) as f64, 1.0])
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 0.5 * r[1] + 3.0).collect();
+    c.bench_function("least_squares_400x3", |b| {
+        b.iter(|| least_squares(&rows, &y))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing, bench_fairshare, bench_switch, bench_fit
+}
+criterion_main!(micro);

@@ -1,0 +1,121 @@
+//! Continuous-batching policy (Orca-style iteration scheduling, §II-B).
+//!
+//! "We adopt a continuous batching approach. The batch size adapts to the
+//! volume of arriving requests" (§III-C1). Prefill batches are formed from
+//! the head of the queue up to a token budget and a request cap; decode
+//! batches are simply the live set (new requests join at iteration
+//! boundaries).
+
+use hs_workload::RequestId;
+use std::collections::VecDeque;
+
+/// Limits on one prefill batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Max total prompt tokens per prefill iteration.
+    pub max_batch_tokens: u64,
+    /// Max requests per prefill iteration.
+    pub max_batch_size: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_tokens: 8192,
+            max_batch_size: 64,
+        }
+    }
+}
+
+/// Pop a prefill batch from the queue head.
+///
+/// Always admits at least one request (an oversized prompt runs alone);
+/// otherwise stops before exceeding either limit. `lens(id)` returns the
+/// request's prompt length.
+pub fn form_prefill_batch(
+    queue: &mut VecDeque<RequestId>,
+    policy: &BatchPolicy,
+    lens: impl Fn(RequestId) -> u64,
+) -> Vec<RequestId> {
+    let mut batch = Vec::new();
+    let mut tokens = 0u64;
+    while let Some(&id) = queue.front() {
+        let l = lens(id);
+        if !batch.is_empty()
+            && (tokens + l > policy.max_batch_tokens || batch.len() >= policy.max_batch_size)
+        {
+            break;
+        }
+        queue.pop_front();
+        tokens += l;
+        batch.push(id);
+        if tokens >= policy.max_batch_tokens || batch.len() >= policy.max_batch_size {
+            break;
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> VecDeque<RequestId> {
+        v.iter().map(|&i| RequestId(i)).collect()
+    }
+
+    #[test]
+    fn respects_token_budget() {
+        let mut q = ids(&[0, 1, 2, 3]);
+        let lens = |id: RequestId| (id.0 + 1) * 100; // 100, 200, 300, 400
+        let p = BatchPolicy {
+            max_batch_tokens: 350,
+            max_batch_size: 10,
+        };
+        let b = form_prefill_batch(&mut q, &p, lens);
+        assert_eq!(b, vec![RequestId(0), RequestId(1)]); // 100+200 <= 350, +300 would exceed
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn oversized_request_runs_alone() {
+        let mut q = ids(&[0, 1]);
+        let p = BatchPolicy {
+            max_batch_tokens: 100,
+            max_batch_size: 10,
+        };
+        let b = form_prefill_batch(&mut q, &p, |_| 5000);
+        assert_eq!(b.len(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn respects_request_cap() {
+        let mut q = ids(&[0, 1, 2, 3, 4]);
+        let p = BatchPolicy {
+            max_batch_tokens: u64::MAX,
+            max_batch_size: 3,
+        };
+        let b = form_prefill_batch(&mut q, &p, |_| 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_empty_batch() {
+        let mut q = ids(&[]);
+        let b = form_prefill_batch(&mut q, &BatchPolicy::default(), |_| 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn exact_budget_stops_cleanly() {
+        let mut q = ids(&[0, 1, 2]);
+        let p = BatchPolicy {
+            max_batch_tokens: 200,
+            max_batch_size: 10,
+        };
+        let b = form_prefill_batch(&mut q, &p, |_| 100);
+        assert_eq!(b.len(), 2);
+    }
+}

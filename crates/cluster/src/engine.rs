@@ -1,0 +1,950 @@
+//! The cluster simulation engine.
+//!
+//! Owns the fabric ([`SimNet`]), the instances, the request population and
+//! the event loop; interleaves three event sources deterministically:
+//! the discrete event queue (arrivals, compute completions, timers,
+//! monitor ticks), network flow completions, and the per-iteration
+//! communication state machines of [`hs_collective`].
+
+use crate::batching::{form_prefill_batch, BatchPolicy};
+use crate::instance::{InstPhase, Instance, InstanceKind, InstanceSpec};
+use crate::kvcache::KvManager;
+use crate::metrics::{MemSample, SimReport};
+use crate::request::{ReqPhase, ReqState};
+use crate::strategy::{BusyPolicy, CommCtx, CommStrategy};
+use hs_collective::{CollectiveExec, CollectivePlan, Phase, Progress, Scheme};
+use hs_des::{EventQueue, SimSpan, SimTime};
+use hs_model::{
+    decode_latency_secs, prefill_latency_secs, BatchStats, CostCoefficients, MemoryModel,
+    ModelConfig,
+};
+use hs_simnet::{FlowId, LinkMonitor, SimNet};
+use hs_topology::{AllPairs, Graph, LinkKind, NodeId};
+use hs_workload::{ArrivalProcess, Mmpp, RequestId, Trace};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Tag-space partition for flow demultiplexing.
+const TAG_KIND_SHIFT: u64 = 60;
+const TAG_COLL: u64 = 1 << TAG_KIND_SHIFT;
+const TAG_KV: u64 = 2 << TAG_KIND_SHIFT;
+const TAG_ID_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// Static configuration of one cluster simulation.
+pub struct ClusterConfig {
+    /// The served model.
+    pub model: ModelConfig,
+    /// Fitted Eq. 12–13 coefficients.
+    pub coef: CostCoefficients,
+    /// TTFT SLA, seconds.
+    pub ttft_sla_s: f64,
+    /// TPOT SLA, seconds.
+    pub tpot_sla_s: f64,
+    /// Prefill instance placements.
+    pub prefill: Vec<InstanceSpec>,
+    /// Decode instance placements.
+    pub decode: Vec<InstanceSpec>,
+    /// Continuous-batching limits.
+    pub batch: BatchPolicy,
+    /// GPU memory per decode GPU, bytes (KV capacity derivation).
+    pub gpu_memory_bytes: u64,
+    /// Monitoring / control-plane polling period.
+    pub monitor_period: SimSpan,
+    /// Max concurrent INA jobs per switch (aggregator-slot budget divided
+    /// by the per-job window; the contention knob of §II-C).
+    pub ina_capacity_per_switch: usize,
+    /// Optional bursty background traffic (the shared-cluster cross
+    /// traffic of §I/§II-C): `(mean flows/s, bytes per flow)`, arrivals
+    /// MMPP-modulated, endpoints random GPU pairs.
+    pub background: Option<(f64, u64)>,
+}
+
+impl ClusterConfig {
+    /// Sum of GPUs across prefill and decode instances.
+    pub fn total_gpus(&self) -> usize {
+        self.prefill
+            .iter()
+            .chain(self.decode.iter())
+            .map(|s| s.gpu_count())
+            .sum()
+    }
+}
+
+enum Ev {
+    Arrival(u32),
+    ComputeDone { inst: usize },
+    CollTimer { coll: u64 },
+    MonitorTick,
+    Background,
+}
+
+struct CollState {
+    exec: CollectiveExec,
+    inst: usize,
+    /// The INA switch whose admission this collective holds, if any.
+    ina_switch: Option<NodeId>,
+}
+
+struct WaitingColl {
+    inst: usize,
+    plan: CollectivePlan,
+    switch: NodeId,
+}
+
+/// The simulator.
+pub struct ClusterSim {
+    g: Graph,
+    ap: AllPairs,
+    net: SimNet,
+    monitor: LinkMonitor,
+    cfg: ClusterConfig,
+    strategy: Box<dyn CommStrategy>,
+    events: EventQueue<Ev>,
+    now: SimTime,
+    reqs: Vec<ReqState>,
+    prefill_queue: VecDeque<RequestId>,
+    pending_admission: VecDeque<RequestId>,
+    instances: Vec<Instance>,
+    decode_offset: usize,
+    kv: Vec<KvManager>,
+    mem_model: MemoryModel,
+    colls: FxHashMap<u64, CollState>,
+    next_coll: u64,
+    ina_active: FxHashMap<NodeId, usize>,
+    ina_waiting: FxHashMap<NodeId, VecDeque<WaitingColl>>,
+    util_snapshot: Vec<f64>,
+    mem_series: Vec<MemSample>,
+    ina_ops: u64,
+    ring_ops: u64,
+    ina_fallbacks: u64,
+    offered_rate: f64,
+    bg: Option<(Mmpp, SmallRng)>,
+}
+
+impl ClusterSim {
+    /// Build a simulation over `graph` for `trace` with the given
+    /// strategy.
+    ///
+    /// # Panics
+    /// Panics on invalid instance specs.
+    pub fn new(
+        graph: &Graph,
+        ap: AllPairs,
+        cfg: ClusterConfig,
+        trace: &Trace,
+        strategy: Box<dyn CommStrategy>,
+    ) -> Self {
+        for s in cfg.prefill.iter().chain(cfg.decode.iter()) {
+            s.validate().expect("invalid instance spec");
+        }
+        let mut instances: Vec<Instance> = cfg
+            .prefill
+            .iter()
+            .map(|s| Instance::new(s.clone(), InstanceKind::Prefill))
+            .collect();
+        let decode_offset = instances.len();
+        instances.extend(
+            cfg.decode
+                .iter()
+                .map(|s| Instance::new(s.clone(), InstanceKind::Decode)),
+        );
+        // Decode KV capacity: per-instance, derived from its sharding and
+        // per-GPU memory.
+        let kv: Vec<KvManager> = cfg
+            .decode
+            .iter()
+            .map(|s| {
+                let mm = MemoryModel::new(&cfg.model, s.p_tens(), s.p_pipe());
+                KvManager::new(mm.kv_token_capacity(cfg.gpu_memory_bytes))
+            })
+            .collect();
+        // Memory model for the utilization metric (per-GPU view of the
+        // first decode spec; instances are homogeneous per experiment).
+        let mem_spec = cfg.decode.first().cloned().unwrap_or_else(|| {
+            cfg.prefill.first().cloned().expect("at least one instance")
+        });
+        let mem_model = MemoryModel::new(&cfg.model, mem_spec.p_tens(), mem_spec.p_pipe());
+
+        let mut events = EventQueue::with_capacity(trace.len() * 4 + 16);
+        // Request state is indexed by RequestId throughout the engine, so
+        // ids must be positional (as `Trace::generate` produces them).
+        assert!(
+            trace
+                .requests
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.id.0 == i as u64),
+            "trace RequestIds must be positional (0..n in order)"
+        );
+        let reqs: Vec<ReqState> = trace.requests.iter().map(|r| ReqState::new(*r)).collect();
+        for (i, r) in trace.requests.iter().enumerate() {
+            events.push(r.arrival, Ev::Arrival(i as u32));
+        }
+        events.push(SimTime::ZERO + cfg.monitor_period, Ev::MonitorTick);
+        let bg = cfg.background.map(|(rate, _)| {
+            let mut rng = hs_des::SeedSplitter::new(0xB66).stream("background");
+            let mut mmpp = Mmpp::bursty(rate, 5.0);
+            let first = SimTime::ZERO + mmpp.next_gap(&mut rng);
+            events.push(first, Ev::Background);
+            (mmpp, rng)
+        });
+
+        let net = SimNet::new(graph);
+        let monitor = LinkMonitor::new(graph.link_count(), 0.5);
+        let util_snapshot = vec![0.0; graph.link_count()];
+        let offered_rate = trace.empirical_rate();
+        ClusterSim {
+            g: graph.clone(),
+            ap,
+            net,
+            monitor,
+            cfg,
+            strategy,
+            events,
+            now: SimTime::ZERO,
+            reqs,
+            prefill_queue: VecDeque::new(),
+            pending_admission: VecDeque::new(),
+            instances,
+            decode_offset,
+            kv,
+            mem_model,
+            colls: FxHashMap::default(),
+            next_coll: 0,
+            ina_active: FxHashMap::default(),
+            ina_waiting: FxHashMap::default(),
+            util_snapshot,
+            mem_series: Vec::new(),
+            ina_ops: 0,
+            ring_ops: 0,
+            ina_fallbacks: 0,
+            offered_rate,
+            bg,
+        }
+    }
+
+    /// Run until `horizon` and produce the report.
+    pub fn run(&mut self, horizon: SimTime) -> SimReport {
+        loop {
+            let tq = self.events.peek_time();
+            let tn = self.net.next_event_time();
+            let t = match (tq, tn) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if t > horizon {
+                break;
+            }
+            self.now = t;
+            // Network completions first (deterministic: completion order,
+            // then queue FIFO at equal times).
+            let done = self.net.advance_to(t);
+            for (id, flow) in done {
+                self.on_flow_done(id, flow.tag);
+            }
+            if self.events.peek_time() == Some(t) {
+                let (_, ev) = self.events.pop().expect("peeked event");
+                self.handle(ev);
+            }
+        }
+        self.now = horizon;
+        self.net.advance_to(horizon);
+        self.build_report(horizon)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(idx) => {
+                let id = self.reqs[idx as usize].req.id;
+                self.prefill_queue.push_back(id);
+                self.kick_prefill();
+            }
+            Ev::ComputeDone { inst } => self.start_comm(inst),
+            Ev::CollTimer { coll } => {
+                let Some(state) = self.colls.get_mut(&coll) else {
+                    return;
+                };
+                let progress = state.exec.on_timer(&mut self.net, self.now);
+                self.advance_coll(coll, progress);
+            }
+            Ev::Background => {
+                let Some((bytes, links)) = self.next_background_flow() else {
+                    return;
+                };
+                if !links.is_empty() {
+                    self.net.start_flow(self.now, &links, bytes, 0);
+                }
+            }
+            Ev::MonitorTick => {
+                self.monitor.poll(&self.net, self.now);
+                self.util_snapshot.copy_from_slice(self.monitor.snapshot());
+                self.strategy.on_monitor(&self.util_snapshot, self.now);
+                self.sample_memory();
+                self.events
+                    .push(self.now + self.cfg.monitor_period, Ev::MonitorTick);
+            }
+        }
+    }
+
+    /// Draw the next background flow and schedule the one after.
+    fn next_background_flow(&mut self) -> Option<(u64, Vec<hs_simnet::DirLink>)> {
+        let (_, bytes) = self.cfg.background?;
+        let (mmpp, rng) = self.bg.as_mut()?;
+        let next = self.now + mmpp.next_gap(rng);
+        self.events.push(next, Ev::Background);
+        let gpus = self.g.gpus();
+        let a = *gpus.choose(rng)?;
+        let mut b = *gpus.choose(rng)?;
+        let mut guard = 0;
+        while b == a && guard < 8 {
+            b = *gpus.choose(rng)?;
+            guard += 1;
+        }
+        if a == b || !self.ap.covers(a) || !self.ap.covers(b) {
+            return None;
+        }
+        Some((bytes, self.ap.path(a, b).directed_links(&self.g)))
+    }
+
+    // ------------------------------------------------------------------
+    // Prefill path
+    // ------------------------------------------------------------------
+
+    /// Start iterations on every idle prefill instance with queued work.
+    fn kick_prefill(&mut self) {
+        for i in 0..self.decode_offset {
+            if self.instances[i].phase == InstPhase::Idle && !self.prefill_queue.is_empty() {
+                self.start_prefill_iteration(i);
+            }
+        }
+    }
+
+    fn start_prefill_iteration(&mut self, inst: usize) {
+        let reqs = &self.reqs;
+        let batch = form_prefill_batch(&mut self.prefill_queue, &self.cfg.batch, |id| {
+            reqs[id.0 as usize].req.input_tokens as u64
+        });
+        if batch.is_empty() {
+            return;
+        }
+        let mut stats = BatchStats::default();
+        for &id in &batch {
+            let r = &mut self.reqs[id.0 as usize];
+            r.phase = ReqPhase::Prefilling;
+            stats.push(r.req.input_tokens as u64, r.req.output_tokens as u64);
+        }
+        let spec = &self.instances[inst].spec;
+        let t_c = prefill_latency_secs(&self.cfg.coef, &self.cfg.model, &stats, spec.p_tens());
+        self.instances[inst].batch = batch;
+        self.instances[inst].phase = InstPhase::Computing;
+        self.events.push(
+            self.now + SimSpan::from_secs_f64(t_c),
+            Ev::ComputeDone { inst },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Communication phase (both kinds)
+    // ------------------------------------------------------------------
+
+    /// Tokens flowing through the instance this iteration (drives sync
+    /// volume): prompt tokens for prefill, one per live request for
+    /// decode.
+    fn iteration_tokens(&self, inst: usize) -> u64 {
+        let instance = &self.instances[inst];
+        match instance.kind {
+            InstanceKind::Prefill => instance
+                .batch
+                .iter()
+                .map(|id| self.reqs[id.0 as usize].req.input_tokens as u64)
+                .sum(),
+            InstanceKind::Decode => instance.active.len() as u64,
+        }
+    }
+
+    fn start_comm(&mut self, inst: usize) {
+        let tokens = self.iteration_tokens(inst);
+        let spec = self.instances[inst].spec.clone();
+        let pp = spec.p_pipe().max(1) as u64;
+        // Per-stage tensor-parallel sync volume: both all-reduce points of
+        // each of the stage's L/pp layers.
+        let stage_bytes = self.cfg.model.sync_bytes_total(tokens) / pp;
+        let mut outstanding = 0usize;
+
+        for (sidx, group) in spec.stages.iter().enumerate() {
+            if group.len() < 2 || stage_bytes == 0 {
+                continue;
+            }
+            let group_id = (inst as u64) << 8 | sidx as u64;
+            let ctx = CommCtx {
+                group_id,
+                group,
+                bytes: stage_bytes,
+                now: self.now,
+                link_util: &self.util_snapshot,
+            };
+            let scheme = self.strategy.choose(&ctx);
+            if self.launch_collective(inst, group, scheme, stage_bytes) {
+                outstanding += 1;
+            }
+        }
+
+        // Pipeline-stage boundary transfers (Eq. 6): activations of
+        // `tokens` tokens hop from each stage's leader to the next.
+        if spec.p_pipe() > 1 && tokens > 0 {
+            let hop_bytes = tokens * self.cfg.model.hidden as u64
+                * self.cfg.model.precision.bytes();
+            let mut phases = Vec::new();
+            for w in spec.stages.windows(2) {
+                let from = w[0][0];
+                let to = w[1][0];
+                let links = self
+                    .strategy
+                    .choose_path(from, to, hop_bytes, &self.util_snapshot)
+                    .unwrap_or_else(|| self.ap.path(from, to).directed_links(&self.g));
+                if !links.is_empty() {
+                    phases.push(Phase {
+                        transfers: vec![(links, hop_bytes)],
+                        post_delay: SimSpan::ZERO,
+                    });
+                }
+            }
+            if !phases.is_empty() {
+                let plan = CollectivePlan { phases };
+                if self.launch_plan(inst, plan, None) {
+                    outstanding += 1;
+                }
+            }
+        }
+
+        if outstanding == 0 {
+            self.iteration_done(inst);
+        } else {
+            self.instances[inst].phase = InstPhase::Communicating { outstanding };
+        }
+    }
+
+    /// Launch one tensor-group collective. Returns whether it counts as
+    /// outstanding (false when it completed instantly).
+    fn launch_collective(
+        &mut self,
+        inst: usize,
+        group: &[NodeId],
+        scheme: Scheme,
+        bytes: u64,
+    ) -> bool {
+        // A hierarchical-INA scheme whose group fits in one server never
+        // reaches the switch — it degenerates to NVLink reduce/broadcast
+        // and must not consume switch aggregation capacity.
+        let aggregates_in_network = match scheme {
+            Scheme::Ina { .. } => group.len() >= 2,
+            Scheme::HierIna { .. } => {
+                hs_collective::latency::leaders(&self.g, group).len() >= 2
+            }
+            _ => false,
+        };
+        let (scheme, ina_switch) = match scheme {
+            Scheme::Ina { switch } | Scheme::HierIna { switch } if aggregates_in_network => {
+                let active = self.ina_active.get(&switch).copied().unwrap_or(0);
+                if active >= self.cfg.ina_capacity_per_switch {
+                    match self.strategy.busy_policy() {
+                        BusyPolicy::FallbackRing => {
+                            self.ina_fallbacks += 1;
+                            self.ring_ops += 1;
+                            (Scheme::Ring, None)
+                        }
+                        BusyPolicy::FallbackHierRing => {
+                            self.ina_fallbacks += 1;
+                            self.ring_ops += 1;
+                            (Scheme::HierRing, None)
+                        }
+                        BusyPolicy::Wait => {
+                            // Queue the compiled plan until the switch
+                            // frees capacity.
+                            let plan =
+                                CollectivePlan::compile(&self.g, &self.ap, group, scheme, bytes);
+                            self.ina_ops += 1;
+                            self.ina_waiting.entry(switch).or_default().push_back(
+                                WaitingColl {
+                                    inst,
+                                    plan,
+                                    switch,
+                                },
+                            );
+                            return true;
+                        }
+                    }
+                } else {
+                    *self.ina_active.entry(switch).or_insert(0) += 1;
+                    self.ina_ops += 1;
+                    (scheme, Some(switch))
+                }
+            }
+            other => {
+                self.ring_ops += 1;
+                (other, None)
+            }
+        };
+        let plan = CollectivePlan::compile(&self.g, &self.ap, group, scheme, bytes);
+        self.launch_plan(inst, plan, ina_switch)
+    }
+
+    /// Launch an arbitrary compiled plan. Returns whether it is
+    /// outstanding.
+    fn launch_plan(
+        &mut self,
+        inst: usize,
+        plan: CollectivePlan,
+        ina_switch: Option<NodeId>,
+    ) -> bool {
+        let coll = self.next_coll;
+        self.next_coll += 1;
+        let mut exec = CollectiveExec::new(plan, TAG_COLL | coll);
+        let progress = exec.start(&mut self.net, self.now);
+        match progress {
+            Progress::Done => {
+                self.release_ina(ina_switch);
+                false
+            }
+            Progress::InFlight => {
+                self.colls.insert(
+                    coll,
+                    CollState {
+                        exec,
+                        inst,
+                        ina_switch,
+                    },
+                );
+                true
+            }
+            Progress::StartTimer(d) => {
+                self.colls.insert(
+                    coll,
+                    CollState {
+                        exec,
+                        inst,
+                        ina_switch,
+                    },
+                );
+                self.events.push(self.now + d, Ev::CollTimer { coll });
+                true
+            }
+        }
+    }
+
+    fn advance_coll(&mut self, coll: u64, progress: Progress) {
+        match progress {
+            Progress::InFlight => {}
+            Progress::StartTimer(d) => {
+                self.events.push(self.now + d, Ev::CollTimer { coll });
+            }
+            Progress::Done => {
+                let state = self.colls.remove(&coll).expect("collective state");
+                self.release_ina(state.ina_switch);
+                self.coll_finished_for_instance(state.inst);
+            }
+        }
+    }
+
+    fn release_ina(&mut self, sw: Option<NodeId>) {
+        let Some(sw) = sw else { return };
+        let c = self.ina_active.entry(sw).or_insert(1);
+        *c = c.saturating_sub(1);
+        // Admit one waiting collective, if any.
+        if let Some(q) = self.ina_waiting.get_mut(&sw) {
+            if let Some(w) = q.pop_front() {
+                *self.ina_active.entry(sw).or_insert(0) += 1;
+                let counted = self.launch_plan(w.inst, w.plan, Some(w.switch));
+                if !counted {
+                    // Instantly done (degenerate plan): close it out.
+                    self.coll_finished_for_instance(w.inst);
+                }
+            }
+        }
+    }
+
+    fn coll_finished_for_instance(&mut self, inst: usize) {
+        let done = {
+            let instance = &mut self.instances[inst];
+            match &mut instance.phase {
+                InstPhase::Communicating { outstanding } => {
+                    *outstanding -= 1;
+                    *outstanding == 0
+                }
+                _ => unreachable!("collective finished while instance not communicating"),
+            }
+        };
+        if done {
+            self.iteration_done(inst);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration boundaries
+    // ------------------------------------------------------------------
+
+    fn iteration_done(&mut self, inst: usize) {
+        self.instances[inst].iterations += 1;
+        self.instances[inst].phase = InstPhase::Idle;
+        match self.instances[inst].kind {
+            InstanceKind::Prefill => {
+                let batch = std::mem::take(&mut self.instances[inst].batch);
+                for id in batch {
+                    let r = &mut self.reqs[id.0 as usize];
+                    r.prefill_done = Some(self.now);
+                    r.phase = ReqPhase::AwaitingAdmission;
+                    self.try_admit(id, inst);
+                }
+                self.kick_prefill();
+            }
+            InstanceKind::Decode => {
+                let kv_idx = inst - self.decode_offset;
+                let active = self.instances[inst].active.clone();
+                let mut finished_reqs = Vec::new();
+                let mut live_growth = 0u64;
+                for id in &active {
+                    let r = &mut self.reqs[id.0 as usize];
+                    r.tokens_generated += 1;
+                    live_growth += 1;
+                    if r.tokens_generated >= r.req.output_tokens {
+                        r.phase = ReqPhase::Done;
+                        r.finished = Some(self.now);
+                        finished_reqs.push(*id);
+                    }
+                }
+                self.kv[kv_idx].materialize(live_growth);
+                if !finished_reqs.is_empty() {
+                    for id in &finished_reqs {
+                        let r = &self.reqs[id.0 as usize];
+                        self.kv[kv_idx].release(
+                            r.reserved_kv_tokens(),
+                            r.req.input_tokens as u64 + r.tokens_generated as u64,
+                        );
+                    }
+                    self.instances[inst]
+                        .active
+                        .retain(|id| !finished_reqs.contains(id));
+                    self.retry_admissions();
+                }
+                self.start_decode_iteration(inst);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission + KV transfer
+    // ------------------------------------------------------------------
+
+    fn try_admit(&mut self, id: RequestId, prefill_inst: usize) {
+        let need = self.reqs[id.0 as usize].reserved_kv_tokens();
+        // Least-loaded decode instance with room.
+        let mut best: Option<usize> = None;
+        for d in 0..self.kv.len() {
+            if self.kv[d].can_admit(need) {
+                let load = self.instances[self.decode_offset + d].decode_load();
+                if best.map(|b| load < self.instances[self.decode_offset + b].decode_load())
+                    .unwrap_or(true)
+                {
+                    best = Some(d);
+                }
+            }
+        }
+        let Some(d) = best else {
+            self.pending_admission.push_back(id);
+            return;
+        };
+        assert!(self.kv[d].admit(need));
+        let r = &mut self.reqs[id.0 as usize];
+        r.decode_instance = Some(self.decode_offset + d);
+        r.phase = ReqPhase::TransferringKv;
+        let input_tokens = r.req.input_tokens as u64;
+        self.kv[d].materialize(input_tokens);
+        // KV transfer: one flow from a prefill GPU to a decode GPU
+        // (pairs rotate with the request id so traffic spreads over the
+        // cross-connected ports, Eq. 15's parallel pair transfers).
+        let src_gpus = self.instances[prefill_inst].spec.all_gpus();
+        let dst_gpus = self.instances[self.decode_offset + d].spec.all_gpus();
+        let src = src_gpus[id.0 as usize % src_gpus.len()];
+        let dst = dst_gpus[id.0 as usize % dst_gpus.len()];
+        let bytes = input_tokens * self.cfg.model.kv_bytes_per_token();
+        // The strategy may route the transfer (HeroServe's path policy);
+        // otherwise take the static shortest path.
+        let links = self
+            .strategy
+            .choose_path(src, dst, bytes, &self.util_snapshot)
+            .unwrap_or_else(|| self.ap.path(src, dst).directed_links(&self.g));
+        if links.is_empty() || bytes == 0 {
+            self.kv_done(id);
+        } else {
+            self.net
+                .start_flow(self.now, &links, bytes, TAG_KV | id.0);
+        }
+    }
+
+    fn retry_admissions(&mut self) {
+        let pending: Vec<RequestId> = self.pending_admission.drain(..).collect();
+        for id in pending {
+            // Re-admit from the original prefill side; the prefill
+            // instance no longer matters for pairing, use instance 0.
+            self.try_admit(id, 0);
+        }
+    }
+
+    fn kv_done(&mut self, id: RequestId) {
+        let r = &mut self.reqs[id.0 as usize];
+        r.phase = ReqPhase::Decoding;
+        r.decode_start = Some(self.now);
+        let inst = r.decode_instance.expect("admitted request has instance");
+        self.instances[inst].joining.push(id);
+        if self.instances[inst].phase == InstPhase::Idle {
+            self.start_decode_iteration(inst);
+        }
+    }
+
+    fn start_decode_iteration(&mut self, inst: usize) {
+        let joining = std::mem::take(&mut self.instances[inst].joining);
+        self.instances[inst].active.extend(joining);
+        if self.instances[inst].active.is_empty() {
+            self.instances[inst].phase = InstPhase::Idle;
+            return;
+        }
+        let mut stats = BatchStats::default();
+        for id in &self.instances[inst].active {
+            let r = &self.reqs[id.0 as usize];
+            stats.push(
+                r.req.input_tokens as u64 + r.tokens_generated as u64,
+                r.req.output_tokens as u64,
+            );
+        }
+        let spec = &self.instances[inst].spec;
+        let t_c = decode_latency_secs(
+            &self.cfg.coef,
+            &self.cfg.model,
+            &stats,
+            spec.p_tens(),
+            spec.p_pipe(),
+        );
+        self.instances[inst].phase = InstPhase::Computing;
+        self.events.push(
+            self.now + SimSpan::from_secs_f64(t_c),
+            Ev::ComputeDone { inst },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Flow demux
+    // ------------------------------------------------------------------
+
+    fn on_flow_done(&mut self, id: FlowId, tag: u64) {
+        match tag >> TAG_KIND_SHIFT {
+            1 => {
+                let coll = tag & TAG_ID_MASK;
+                let Some(state) = self.colls.get_mut(&coll) else {
+                    return;
+                };
+                let progress = state.exec.on_flow_complete(&mut self.net, self.now, id);
+                self.advance_coll(coll, progress);
+            }
+            2 => {
+                let rid = RequestId(tag & TAG_ID_MASK);
+                self.kv_done(rid);
+            }
+            _ => {} // background / foreign flows
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn sample_memory(&mut self) {
+        if self.kv.is_empty() {
+            return;
+        }
+        let utils: Vec<f64> = self
+            .kv
+            .iter()
+            .map(|m| {
+                // Convert live tokens into whole-GPU memory utilization.
+                self.mem_model
+                    .utilization(self.cfg.gpu_memory_bytes, m.live())
+            })
+            .collect();
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        let max = utils.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.mem_series.push(MemSample {
+            t: self.now,
+            mean_util: mean,
+            max_util: max,
+        });
+    }
+
+    fn build_report(&mut self, horizon: SimTime) -> SimReport {
+        let mut report = SimReport {
+            strategy: self.strategy.name().to_string(),
+            offered_rate: self.offered_rate,
+            mem_series: std::mem::take(&mut self.mem_series),
+            ina_ops: self.ina_ops,
+            ring_ops: self.ring_ops,
+            ina_fallbacks: self.ina_fallbacks,
+            ..SimReport::default()
+        };
+        for (lid, link) in self.g.links() {
+            let bytes = self.net.cumulative_bytes(lid);
+            match link.kind {
+                LinkKind::Ethernet => report.eth_bytes += bytes,
+                LinkKind::NvLink | LinkKind::Pcie => report.nvlink_bytes += bytes,
+            }
+        }
+        report.summarize(&self.reqs, self.cfg.ttft_sla_s, self.cfg.tpot_sla_s, horizon);
+        report
+    }
+
+    /// Read-only view of the request states (tests).
+    pub fn requests(&self) -> &[ReqState] {
+        &self.reqs
+    }
+
+    /// Read-only view of the instances (tests).
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The current KV managers (tests / Fig. 10 probes).
+    pub fn kv_managers(&self) -> &[KvManager] {
+        &self.kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StaticStrategy;
+    use hs_des::SeedSplitter;
+    use hs_model::profile::{fit, ProfileGrid};
+    use hs_model::GpuModel;
+    use hs_topology::builders::testbed;
+    use hs_topology::LinkWeight;
+    use hs_workload::spec::fixed;
+    use hs_workload::{Poisson, Trace};
+
+    fn small_setup(
+        rate: f64,
+        horizon_s: u64,
+        scheme: Scheme,
+    ) -> (SimReport, usize) {
+        let t = testbed();
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+
+        // Prefill: server 0's 4 GPUs (TP=4); decode: server 1's 4 GPUs.
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 2.5,
+            tpot_sla_s: 0.15,
+            prefill: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone())],
+            decode: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone())],
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+        };
+        let mut rng = SeedSplitter::new(11).stream("trace");
+        let mut arr = Poisson::new(rate);
+        let trace = Trace::generate(
+            &fixed(256, 16),
+            &mut arr,
+            &mut rng,
+            SimTime::from_secs(horizon_s),
+        );
+        let n = trace.len();
+        let strategy = StaticStrategy::uniform("test", scheme, BusyPolicy::FallbackRing);
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        // Give the tail room to drain.
+        let report = sim.run(SimTime::from_secs(horizon_s + 30));
+        (report, n)
+    }
+
+    #[test]
+    fn low_load_completes_everything_with_ring() {
+        let (report, n) = small_setup(1.0, 20, Scheme::Ring);
+        assert!(n > 5);
+        assert_eq!(report.completed, report.arrived, "all requests complete");
+        assert!(report.sla_attainment > 0.9, "attainment {}", report.sla_attainment);
+        assert!(report.mean_ttft_s > 0.0 && report.mean_ttft_s < 2.5);
+        assert!(report.mean_tpot_s > 0.0 && report.mean_tpot_s < 0.15);
+        assert_eq!(report.ina_ops, 0);
+        assert!(report.ring_ops > 0);
+        assert!(report.eth_bytes > 0.0);
+    }
+
+    #[test]
+    fn ina_scheme_uses_switch_and_hier_moves_traffic_to_nvlink() {
+        let t = testbed();
+        let sw = t.access_switches[0];
+        let (flat, _) = small_setup(1.0, 15, Scheme::Ina { switch: sw });
+        let (hier, _) = small_setup(1.0, 15, Scheme::HierIna { switch: sw });
+        assert!(flat.ina_ops > 0);
+        // The test instances are single-server groups: hierarchical INA
+        // degenerates to NVLink-local reduce/broadcast and correctly
+        // consumes no switch aggregation capacity.
+        assert_eq!(hier.ina_ops, 0);
+        // Hierarchical pushes most of its bytes over NVLink.
+        assert!(
+            hier.nvlink_bytes > 0.5 * hier.eth_bytes,
+            "nvlink {} vs eth {}",
+            hier.nvlink_bytes,
+            hier.eth_bytes
+        );
+        assert!(
+            hier.eth_bytes < flat.eth_bytes,
+            "hier {} vs flat {}",
+            hier.eth_bytes,
+            flat.eth_bytes
+        );
+    }
+
+    #[test]
+    fn overload_degrades_attainment() {
+        let (low, _) = small_setup(0.5, 15, Scheme::Ring);
+        let (high, _) = small_setup(400.0, 15, Scheme::Ring);
+        assert!(
+            low.sla_attainment > high.sla_attainment,
+            "low {} vs high {}",
+            low.sla_attainment,
+            high.sla_attainment
+        );
+        assert!(high.sla_attainment < 0.9, "overload attainment {}", high.sla_attainment);
+    }
+
+    #[test]
+    fn memory_series_tracks_load() {
+        let (report, _) = small_setup(4.0, 15, Scheme::Ring);
+        assert!(!report.mem_series.is_empty());
+        let peak = report
+            .mem_series
+            .iter()
+            .fold(0.0f64, |a, s| a.max(s.max_util));
+        // Weights occupy a floor; KV adds on top.
+        assert!(peak > 0.0, "peak mem util {peak}");
+        assert!(peak <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, _) = small_setup(2.0, 10, Scheme::Ring);
+        let (b, _) = small_setup(2.0, 10, Scheme::Ring);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_ttft_s, b.mean_ttft_s);
+        assert_eq!(a.eth_bytes, b.eth_bytes);
+    }
+}

@@ -1,0 +1,217 @@
+//! Experiment metrics — everything §V measures.
+
+use crate::request::{ReqPhase, ReqState};
+use hs_des::SimTime;
+use hs_workload::stats::{fraction_where, mean, percentile};
+use serde::{Deserialize, Serialize};
+
+/// Final metrics for one request.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ReqMetrics {
+    /// Request id.
+    pub id: u64,
+    /// TTFT in seconds (`None` when prefill never completed).
+    pub ttft_s: Option<f64>,
+    /// TPOT in seconds (`None` when decoding never finished).
+    pub tpot_s: Option<f64>,
+    /// Whether the request completed fully.
+    pub completed: bool,
+    /// Whether it met both SLAs (unfinished overdue requests fail).
+    pub sla_ok: bool,
+}
+
+/// One sample of the Fig. 10 memory time series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Mean live KV utilization across decode instances, `[0, 1]`.
+    pub mean_util: f64,
+    /// Max live KV utilization across decode instances.
+    pub max_util: f64,
+}
+
+/// The full report of one cluster simulation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Offered request rate (from the trace), req/s.
+    pub offered_rate: f64,
+    /// Requests arrived within the horizon.
+    pub arrived: usize,
+    /// Requests fully completed.
+    pub completed: usize,
+    /// Per-request metrics (arrival order).
+    pub per_request: Vec<ReqMetrics>,
+    /// SLA attainment over *evaluable* requests (completed, or overdue).
+    pub sla_attainment: f64,
+    /// Mean TTFT over completed requests, seconds.
+    pub mean_ttft_s: f64,
+    /// p90 TTFT, seconds.
+    pub p90_ttft_s: f64,
+    /// Mean TPOT over completed requests, seconds.
+    pub mean_tpot_s: f64,
+    /// p90 TPOT, seconds.
+    pub p90_tpot_s: f64,
+    /// Memory utilization time series (Fig. 10).
+    pub mem_series: Vec<MemSample>,
+    /// Collectives that ran as INA.
+    pub ina_ops: u64,
+    /// Collectives that ran as ring (including fallbacks).
+    pub ring_ops: u64,
+    /// INA requests that fell back to ring because a switch was busy.
+    pub ina_fallbacks: u64,
+    /// Total bytes pushed over Ethernet links.
+    pub eth_bytes: f64,
+    /// Total bytes pushed over NVLink links.
+    pub nvlink_bytes: f64,
+    /// Throughput: completed requests per second of simulated time.
+    pub goodput_rps: f64,
+}
+
+impl SimReport {
+    /// Build per-request metrics and summary statistics.
+    ///
+    /// SLA evaluation: a completed request passes iff `TTFT ≤ ttft_sla`
+    /// and `TPOT ≤ tpot_sla`. An unfinished request whose TTFT deadline
+    /// already passed at `horizon` fails; unfinished requests still
+    /// within deadline are excluded from attainment (standard open-loop
+    /// accounting).
+    pub fn summarize(
+        &mut self,
+        reqs: &[ReqState],
+        ttft_sla: f64,
+        tpot_sla: f64,
+        horizon: SimTime,
+    ) {
+        let mut evaluable = Vec::new();
+        let mut ttfts = Vec::new();
+        let mut tpots = Vec::new();
+        self.per_request.clear();
+        self.arrived = reqs.len();
+        self.completed = 0;
+        for r in reqs {
+            let completed = r.phase == ReqPhase::Done;
+            let ttft = r.ttft_secs();
+            let tpot = r.tpot_secs();
+            let sla_ok = if completed {
+                let ok = ttft.map(|t| t <= ttft_sla).unwrap_or(false)
+                    && tpot.map(|t| t <= tpot_sla).unwrap_or(false);
+                evaluable.push(if ok { 1.0 } else { 0.0 });
+                ok
+            } else {
+                // Unfinished: fail if the TTFT deadline has already
+                // passed without a first token, or if decoding has been
+                // running long enough that TPOT can no longer be met.
+                let overdue_prefill = r.prefill_done.is_none()
+                    && horizon.saturating_since(r.req.arrival).as_secs_f64() > ttft_sla;
+                let overdue_ttft = ttft.map(|t| t > ttft_sla).unwrap_or(false);
+                if overdue_prefill || overdue_ttft {
+                    evaluable.push(0.0);
+                }
+                false
+            };
+            if completed {
+                self.completed += 1;
+                if let Some(t) = ttft {
+                    ttfts.push(t);
+                }
+                if let Some(t) = tpot {
+                    tpots.push(t);
+                }
+            }
+            self.per_request.push(ReqMetrics {
+                id: r.req.id.0,
+                ttft_s: ttft,
+                tpot_s: tpot,
+                completed,
+                sla_ok,
+            });
+        }
+        self.sla_attainment = fraction_where(&evaluable, |x| x > 0.5);
+        self.mean_ttft_s = mean(&ttfts);
+        self.p90_ttft_s = percentile(&ttfts, 90.0);
+        self.mean_tpot_s = mean(&tpots);
+        self.p90_tpot_s = percentile(&tpots, 90.0);
+        let secs = horizon.as_secs_f64();
+        self.goodput_rps = if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_workload::{Request, RequestId};
+
+    fn finished(id: u64, arrival_s: u64, ttft_s: u64, tpot_ms: u64, out: u32) -> ReqState {
+        let mut r = ReqState::new(Request {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(arrival_s),
+            input_tokens: 100,
+            output_tokens: out,
+        });
+        r.phase = ReqPhase::Done;
+        r.prefill_done = Some(SimTime::from_secs(arrival_s + ttft_s));
+        r.decode_start = Some(SimTime::from_secs(arrival_s + ttft_s));
+        r.finished =
+            Some(SimTime::from_secs(arrival_s + ttft_s) + hs_des::SimSpan::from_millis(tpot_ms * out as u64));
+        r.tokens_generated = out;
+        r
+    }
+
+    #[test]
+    fn attainment_counts_both_slas() {
+        let reqs = vec![
+            finished(0, 0, 1, 100, 10),  // ttft 1s ok, tpot 0.1 ok
+            finished(1, 0, 5, 100, 10),  // ttft 5s > 2.5 -> fail
+            finished(2, 0, 1, 300, 10),  // tpot 0.3 > 0.15 -> fail
+            finished(3, 0, 2, 140, 10),  // ok
+        ];
+        let mut rep = SimReport::default();
+        rep.summarize(&reqs, 2.5, 0.15, SimTime::from_secs(100));
+        assert_eq!(rep.completed, 4);
+        assert!((rep.sla_attainment - 0.5).abs() < 1e-9);
+        assert!(rep.mean_ttft_s > 0.0);
+        assert!(rep.goodput_rps > 0.0);
+    }
+
+    #[test]
+    fn overdue_unfinished_fail_but_pending_excluded() {
+        let mut overdue = ReqState::new(Request {
+            id: RequestId(0),
+            arrival: SimTime::from_secs(0),
+            input_tokens: 10,
+            output_tokens: 10,
+        });
+        overdue.phase = ReqPhase::Queued;
+        let mut pending = ReqState::new(Request {
+            id: RequestId(1),
+            arrival: SimTime::from_secs(99),
+            input_tokens: 10,
+            output_tokens: 10,
+        });
+        pending.phase = ReqPhase::Queued;
+        let ok = finished(2, 0, 1, 100, 10);
+        let mut rep = SimReport::default();
+        rep.summarize(&[overdue, pending, ok], 2.5, 0.15, SimTime::from_secs(100));
+        // Evaluable: overdue (fail) + ok (pass); pending excluded.
+        assert!((rep.sla_attainment - 0.5).abs() < 1e-9);
+        assert_eq!(rep.completed, 1);
+        assert!(!rep.per_request[0].sla_ok);
+        assert!(!rep.per_request[1].sla_ok);
+        assert!(rep.per_request[2].sla_ok);
+    }
+
+    #[test]
+    fn empty_report() {
+        let mut rep = SimReport::default();
+        rep.summarize(&[], 1.0, 1.0, SimTime::from_secs(10));
+        assert_eq!(rep.sla_attainment, 0.0);
+        assert_eq!(rep.completed, 0);
+    }
+}

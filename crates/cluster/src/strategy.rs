@@ -1,0 +1,173 @@
+//! The pluggable communication strategy — where HeroServe and the
+//! baselines differ.
+//!
+//! Every iteration, each tensor-parallel group runs one aggregated
+//! all-reduce. The engine asks the strategy which [`Scheme`] to use, given
+//! the group, the synchronization volume, and the latest monitored link
+//! utilizations (the online scheduler's observation channel). The
+//! strategy also declares what happens when its chosen INA switch has no
+//! free aggregation capacity: SwitchML-style jobs *wait*; ATP-style jobs
+//! *fall back* to ring (§IV / §V baseline semantics).
+
+use hs_collective::Scheme;
+use hs_des::SimTime;
+use hs_simnet::DirLink;
+use hs_topology::NodeId;
+
+/// Behaviour when the chosen INA switch is at its concurrent-job limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusyPolicy {
+    /// Queue the collective until a slot frees (synchronous INA).
+    Wait,
+    /// Degrade this iteration's collective to a flat ring (best-effort
+    /// INA — ATP semantics: end hosts aggregate over Ethernet).
+    FallbackRing,
+    /// Degrade to the NVLink-first hierarchical ring (HeroServe keeps the
+    /// heterogeneity win even when a switch is saturated).
+    FallbackHierRing,
+}
+
+/// Per-collective decision context handed to the strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct CommCtx<'a> {
+    /// Stable identifier of the tensor-parallel group.
+    pub group_id: u64,
+    /// The group's GPUs.
+    pub group: &'a [NodeId],
+    /// Full synchronization volume for this iteration, bytes.
+    pub bytes: u64,
+    /// Simulation time.
+    pub now: SimTime,
+    /// Latest monitored per-link utilization (EWMA, `[0,1]`), indexed by
+    /// dense `LinkId`.
+    pub link_util: &'a [f64],
+}
+
+/// A communication scheduling policy.
+pub trait CommStrategy {
+    /// Choose the scheme for one collective.
+    fn choose(&mut self, ctx: &CommCtx<'_>) -> Scheme;
+
+    /// What to do when the chosen INA switch is busy.
+    fn busy_policy(&self) -> BusyPolicy {
+        BusyPolicy::FallbackRing
+    }
+
+    /// Choose a route for a point-to-point transfer (KV-cache transfer,
+    /// pipeline-stage hop). `None` keeps the engine's static shortest
+    /// path — what DistServe/DS-ATP/DS-SwitchML do. HeroServe's policy
+    /// table also covers "the next hop, the transmission path" (§III-D,
+    /// Fig. 5), so its implementation load-balances across the
+    /// cross-connected fabric's alternative routes.
+    fn choose_path(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        _bytes: u64,
+        _link_util: &[f64],
+    ) -> Option<Vec<DirLink>> {
+        None
+    }
+
+    /// Periodic monitoring callback (the paper's control-plane poll loop).
+    fn on_monitor(&mut self, _link_util: &[f64], _now: SimTime) {}
+
+    /// Name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Resolver from `(group_id, group)` to a scheme.
+type SchemeFn = Box<dyn Fn(u64, &[NodeId]) -> Scheme + Send>;
+
+/// A fixed strategy: always the same scheme (optionally resolved per
+/// group). Used for the DistServe baseline (always `Ring`) and for
+/// ablations (INA-only / hierarchical-only).
+pub struct StaticStrategy {
+    name: String,
+    scheme_of: SchemeFn,
+    busy: BusyPolicy,
+}
+
+impl StaticStrategy {
+    /// Always `scheme`, for every group.
+    pub fn uniform(name: impl Into<String>, scheme: Scheme, busy: BusyPolicy) -> Self {
+        StaticStrategy {
+            name: name.into(),
+            scheme_of: Box::new(move |_, _| scheme),
+            busy,
+        }
+    }
+
+    /// Scheme chosen per group by a closure (e.g. "the group's planner
+    /// assignment").
+    pub fn per_group(
+        name: impl Into<String>,
+        f: impl Fn(u64, &[NodeId]) -> Scheme + Send + 'static,
+        busy: BusyPolicy,
+    ) -> Self {
+        StaticStrategy {
+            name: name.into(),
+            scheme_of: Box::new(f),
+            busy,
+        }
+    }
+}
+
+impl CommStrategy for StaticStrategy {
+    fn choose(&mut self, ctx: &CommCtx<'_>) -> Scheme {
+        (self.scheme_of)(ctx.group_id, ctx.group)
+    }
+
+    fn busy_policy(&self) -> BusyPolicy {
+        self.busy
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_strategy_is_constant() {
+        let mut s = StaticStrategy::uniform("ring", Scheme::Ring, BusyPolicy::FallbackRing);
+        let ctx = CommCtx {
+            group_id: 0,
+            group: &[NodeId(0), NodeId(1)],
+            bytes: 1024,
+            now: SimTime::ZERO,
+            link_util: &[],
+        };
+        assert_eq!(s.choose(&ctx), Scheme::Ring);
+        assert_eq!(s.busy_policy(), BusyPolicy::FallbackRing);
+        assert_eq!(s.name(), "ring");
+    }
+
+    #[test]
+    fn per_group_strategy_dispatches() {
+        let mut s = StaticStrategy::per_group(
+            "alt",
+            |gid, _| {
+                if gid % 2 == 0 {
+                    Scheme::Ring
+                } else {
+                    Scheme::Ina { switch: NodeId(9) }
+                }
+            },
+            BusyPolicy::Wait,
+        );
+        let mk = |gid| CommCtx {
+            group_id: gid,
+            group: &[],
+            bytes: 0,
+            now: SimTime::ZERO,
+            link_util: &[],
+        };
+        assert_eq!(s.choose(&mk(0)), Scheme::Ring);
+        assert_eq!(s.choose(&mk(1)), Scheme::Ina { switch: NodeId(9) });
+        assert_eq!(s.busy_policy(), BusyPolicy::Wait);
+    }
+}

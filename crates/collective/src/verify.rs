@@ -1,0 +1,275 @@
+//! Data-level collective execution — semantic correctness.
+//!
+//! The latency models and flow plans say how long an all-reduce takes;
+//! this module proves the schemes compute the *same numbers*. Ring
+//! all-reduce is executed chunk-by-chunk (reduce-scatter + all-gather,
+//! exactly NCCL's dataflow); INA all-reduce pushes real packets through
+//! the [`hs_switch`] dataplane, fixed point and all; the hierarchical
+//! scheme composes local reduction with either. Tests assert all three
+//! agree within fixed-point quantization tolerance.
+
+use hs_switch::{AggMode, DataplaneAction, FixPoint, InaDataplane, InaPacket, JobConfig, JobId, WorkerId};
+
+/// Reference: element-wise sum of all workers' vectors.
+pub fn reference_sum(data: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!data.is_empty());
+    let n = data[0].len();
+    let mut out = vec![0.0f32; n];
+    for v in data {
+        assert_eq!(v.len(), n, "ragged worker vectors");
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Ring all-reduce executed as reduce-scatter + all-gather over `P`
+/// chunks. Mutates every worker's vector to the full sum and returns the
+/// number of point-to-point transfers performed (for invariants:
+/// `2·P·(P−1)` chunks move in total).
+pub fn ring_allreduce_data(data: &mut [Vec<f32>]) -> usize {
+    let p = data.len();
+    if p < 2 {
+        return 0;
+    }
+    let n = data[0].len();
+    assert!(data.iter().all(|v| v.len() == n));
+    // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+    let bounds: Vec<usize> = (0..=p).map(|c| c * n / p).collect();
+    let mut transfers = 0;
+
+    // Reduce-scatter: step s, worker i sends chunk (i - s) mod p to
+    // worker (i+1) mod p, which accumulates it.
+    for s in 0..p - 1 {
+        for i in 0..p {
+            let src = i;
+            let dst = (i + 1) % p;
+            let c = (i + p - s) % p;
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            let chunk: Vec<f32> = data[src][lo..hi].to_vec();
+            for (d, x) in data[dst][lo..hi].iter_mut().zip(chunk) {
+                *d += x;
+            }
+            transfers += 1;
+        }
+    }
+    // All-gather: worker (c+1) mod p now owns the full sum of chunk c;
+    // circulate ownership.
+    for s in 0..p - 1 {
+        for i in 0..p {
+            let src = i;
+            let dst = (i + 1) % p;
+            let c = (i + p - s + 1) % p; // chunk fully reduced at src
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            let chunk: Vec<f32> = data[src][lo..hi].to_vec();
+            data[dst][lo..hi].copy_from_slice(&chunk);
+            transfers += 1;
+        }
+    }
+    transfers
+}
+
+/// INA all-reduce: chunk every worker's vector into switch-slot-sized
+/// packets and stream them through `dp`. Returns the aggregated vector
+/// every worker receives (the multicast payloads reassembled).
+///
+/// # Panics
+/// Panics if the dataplane stalls (no progress) — with a window ≥ 1 and
+/// in-order packets this cannot happen for an admitted job.
+pub fn ina_allreduce_data(dp: &mut InaDataplane, job: JobId, data: &[Vec<f32>]) -> Vec<f32> {
+    let p = data.len();
+    assert!(p >= 1);
+    let n = data[0].len();
+    let lanes = dp.lanes();
+    let chunks = n.div_ceil(lanes);
+    let mut result = vec![0.0f32; n];
+    for seq in 0..chunks {
+        let lo = seq * lanes;
+        let hi = ((seq + 1) * lanes).min(n);
+        let mut got = false;
+        for (w, v) in data.iter().enumerate() {
+            let mut payload = vec![0.0f32; lanes];
+            payload[..hi - lo].copy_from_slice(&v[lo..hi]);
+            match dp.process(&InaPacket {
+                job,
+                worker: WorkerId(w as u32),
+                seq: seq as u32,
+                values: payload,
+            }) {
+                DataplaneAction::Complete { values, .. } => {
+                    result[lo..hi].copy_from_slice(&values[..hi - lo]);
+                    got = true;
+                }
+                DataplaneAction::Accepted => {}
+                other => panic!("INA all-reduce stalled: {other:?}"),
+            }
+        }
+        assert!(got, "chunk {seq} never completed");
+    }
+    result
+}
+
+/// Hierarchical all-reduce: sum within local groups, all-reduce the
+/// leaders through the switch dataplane, return the broadcast result.
+/// `groups` partitions worker indices by server.
+pub fn hierarchical_ina_allreduce_data(
+    dp: &mut InaDataplane,
+    job: JobId,
+    data: &[Vec<f32>],
+    groups: &[Vec<usize>],
+) -> Vec<f32> {
+    // Local reduce: leader vector = sum of its group's vectors (NVLink
+    // is lossless fp32 here; no fixed point on the local hop).
+    let locals: Vec<Vec<f32>> = groups
+        .iter()
+        .map(|members| {
+            let vs: Vec<Vec<f32>> = members.iter().map(|&m| data[m].clone()).collect();
+            reference_sum(&vs)
+        })
+        .collect();
+    if locals.len() == 1 {
+        return locals.into_iter().next().expect("one group");
+    }
+    ina_allreduce_data(dp, job, &locals)
+}
+
+/// Convenience: a fresh dataplane admitted for `fanin` workers.
+pub fn test_dataplane(fanin: u32, lanes: usize, slots: usize) -> (InaDataplane, JobId) {
+    let mut dp = InaDataplane::new(slots, lanes);
+    let job = JobId(0);
+    dp.admit_job(
+        job,
+        JobConfig {
+            fanin,
+            window: slots.min(8) as u32,
+            fixpoint: FixPoint::default(),
+            mode: AggMode::SwitchMlSync,
+        },
+    )
+    .expect("admission");
+    (dp, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker_data(p: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|w| {
+                (0..n)
+                    .map(|i| ((w * 31 + i * 7) % 100) as f32 / 10.0 - 5.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_equals_reference() {
+        for p in [2usize, 3, 4, 7] {
+            for n in [1usize, 8, 37, 64] {
+                let mut data = worker_data(p, n);
+                let expect = reference_sum(&data);
+                let transfers = ring_allreduce_data(&mut data);
+                assert_eq!(transfers, 2 * p * (p - 1));
+                for v in &data {
+                    for (a, b) in v.iter().zip(&expect) {
+                        assert!((a - b).abs() < 1e-4, "ring p={p} n={n}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ina_equals_reference_within_quantum() {
+        let p = 4;
+        let n = 50;
+        let data = worker_data(p, n);
+        let expect = reference_sum(&data);
+        let (mut dp, job) = test_dataplane(p as u32, 8, 16);
+        let got = ina_allreduce_data(&mut dp, job, &data);
+        let fp = FixPoint::default();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!(
+                (a - b).abs() <= p as f32 * fp.quantum() + 1e-4,
+                "INA: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_equals_flat() {
+        let p = 6;
+        let n = 24;
+        let data = worker_data(p, n);
+        let expect = reference_sum(&data);
+        // Servers: {0,1,2}, {3,4}, {5}.
+        let groups = vec![vec![0, 1, 2], vec![3, 4], vec![5]];
+        let (mut dp, job) = test_dataplane(3, 8, 16); // fanin = leader count
+        let got = hierarchical_ina_allreduce_data(&mut dp, job, &data, &groups);
+        let fp = FixPoint::default();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() <= 4.0 * fp.quantum() + 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_group_hierarchical_is_local_sum() {
+        let data = worker_data(3, 10);
+        let expect = reference_sum(&data);
+        let (mut dp, job) = test_dataplane(1, 8, 4);
+        let got = hierarchical_ina_allreduce_data(&mut dp, job, &data, &[vec![0, 1, 2]]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn singleton_ring_is_noop() {
+        let mut data = worker_data(1, 5);
+        let orig = data.clone();
+        assert_eq!(ring_allreduce_data(&mut data), 0);
+        assert_eq!(data, orig);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ring and INA all-reduce agree with the reference sum (and hence
+        /// each other) for arbitrary worker counts, lengths and values.
+        #[test]
+        fn schemes_agree(
+            p in 2usize..6,
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let data: Vec<Vec<f32>> = (0..p)
+                .map(|w| {
+                    (0..n)
+                        .map(|i| {
+                            let x = seed
+                                .wrapping_mul(0x9e3779b97f4a7c15)
+                                .wrapping_add(((w * 1000 + i) as u64).wrapping_mul(0x517cc1b727220a95));
+                            ((x >> 33) % 2000) as f32 / 100.0 - 10.0
+                        })
+                        .collect()
+                })
+                .collect();
+            let expect = reference_sum(&data);
+            let mut ring = data.clone();
+            ring_allreduce_data(&mut ring);
+            let (mut dp, job) = test_dataplane(p as u32, 8, 16);
+            let ina = ina_allreduce_data(&mut dp, job, &data);
+            let fp = hs_switch::FixPoint::default();
+            let tol = p as f32 * fp.quantum() + 1e-3;
+            for i in 0..n {
+                prop_assert!((ring[0][i] - expect[i]).abs() < 1e-3);
+                prop_assert!((ina[i] - expect[i]).abs() <= tol);
+            }
+        }
+    }
+}

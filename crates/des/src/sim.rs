@@ -1,0 +1,150 @@
+//! A minimal event-loop runner.
+//!
+//! Larger simulators in this workspace (notably `hs-cluster`) own their
+//! event loops directly because they interleave several event sources; this
+//! runner exists for self-contained models and for tests, and demonstrates
+//! the canonical handler pattern.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A model that reacts to events and may schedule more.
+pub trait EventHandler {
+    /// The event payload type.
+    type Event;
+
+    /// Handle `event` firing at `now`; push follow-up events onto `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drives an [`EventHandler`] until the queue drains or a horizon is hit.
+pub struct Simulation<M: EventHandler> {
+    /// The model under simulation.
+    pub model: M,
+    /// Pending events.
+    pub queue: EventQueue<M::Event>,
+    now: SimTime,
+}
+
+impl<M: EventHandler> Simulation<M> {
+    /// Wrap `model` with an empty event queue at time zero.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an initial/external event.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.queue.push(time, event);
+    }
+
+    /// Run until the queue is empty. Returns the final clock value.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue is empty or the next event would fire after
+    /// `horizon`. Events at exactly `horizon` are processed. Returns the
+    /// clock, which is `min(last event time, horizon)` when the horizon cut
+    /// the run short.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                self.now = horizon;
+                return self.now;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            self.model.handle(t, ev, &mut self.queue);
+        }
+        self.now
+    }
+
+    /// Process exactly one event, if any. Returns its firing time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.model.handle(t, ev, &mut self.queue);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimSpan;
+
+    /// A counter that reschedules itself `remaining` times.
+    struct Ticker {
+        ticks: Vec<SimTime>,
+        remaining: u32,
+        period: SimSpan,
+    }
+
+    impl EventHandler for Ticker {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+            self.ticks.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.push(now + self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_self_scheduling() {
+        let mut sim = Simulation::new(Ticker {
+            ticks: vec![],
+            remaining: 4,
+            period: SimSpan::from_secs(1),
+        });
+        sim.schedule(SimTime::ZERO, ());
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_secs(4));
+        assert_eq!(sim.model.ticks.len(), 5);
+        assert_eq!(sim.model.ticks[3], SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Simulation::new(Ticker {
+            ticks: vec![],
+            remaining: 100,
+            period: SimSpan::from_secs(1),
+        });
+        sim.schedule(SimTime::ZERO, ());
+        let end = sim.run_until(SimTime::from_secs(10));
+        // Events at t=0..=10 fire (11 ticks); the t=11 event stays queued.
+        assert_eq!(sim.model.ticks.len(), 11);
+        assert_eq!(end, SimTime::from_secs(10));
+        assert_eq!(sim.queue.len(), 1);
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut sim = Simulation::new(Ticker {
+            ticks: vec![],
+            remaining: 2,
+            period: SimSpan::from_millis(10),
+        });
+        sim.schedule(SimTime::from_millis(1), ());
+        assert_eq!(sim.step(), Some(SimTime::from_millis(1)));
+        assert_eq!(sim.model.ticks.len(), 1);
+        assert_eq!(sim.step(), Some(SimTime::from_millis(11)));
+        assert_eq!(sim.step(), Some(SimTime::from_millis(21)));
+        assert_eq!(sim.step(), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! Integer-nanosecond simulation time.
+//!
+//! All simulators in the workspace share a single clock type so that events
+//! produced by different components (network flows, batch iterations, policy
+//! ticks) are totally ordered without floating-point comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A non-negative duration on the simulation clock, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "infinite" horizon sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative and non-finite inputs clamp to zero: model code computes
+    /// latencies from fitted constants and tiny negative values can appear
+    /// from extrapolation; clamping keeps the clock monotone.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the epoch as a float (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Microseconds since the epoch as a float (for reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference; `None` if `earlier` is after `self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimSpan> {
+        self.0.checked_sub(earlier.0).map(SimSpan)
+    }
+}
+
+impl SimSpan {
+    /// The zero-length span.
+    pub const ZERO: SimSpan = SimSpan(0);
+    /// The maximum representable span.
+    pub const MAX: SimSpan = SimSpan(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimSpan(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (clamped to `[0, MAX]`).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds as a float (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Microseconds as a float (for reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition of two spans.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiply the span by an integer factor (saturating).
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> SimSpan {
+        SimSpan(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// Panics in debug builds if `rhs` is after `self`; saturates in release.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction went negative");
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        debug_assert!(rhs.0 <= self.0, "SimSpan subtraction went negative");
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimSpan {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        debug_assert!(rhs.0 <= self.0, "SimSpan subtraction went negative");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Compute the time to serialize `bytes` onto a link of `bits_per_sec`
+/// bandwidth, rounded up to the next nanosecond so a transfer never
+/// completes "for free".
+#[inline]
+pub fn transfer_span(bytes: u64, bits_per_sec: f64) -> SimSpan {
+    if bytes == 0 {
+        return SimSpan::ZERO;
+    }
+    if bits_per_sec.is_nan() || bits_per_sec <= 0.0 {
+        return SimSpan::MAX;
+    }
+    let secs = (bytes as f64 * 8.0) / bits_per_sec;
+    let ns = (secs * 1e9).ceil();
+    if ns >= u64::MAX as f64 {
+        SimSpan::MAX
+    } else {
+        SimSpan::from_nanos(ns.max(1.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(4).as_nanos(), 4_000);
+        assert_eq!(SimSpan::from_secs(1), SimSpan::from_millis(1000));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimSpan::from_secs_f64(-0.5), SimSpan::ZERO);
+        assert_eq!(SimSpan::from_secs_f64(f64::INFINITY), SimSpan::ZERO.saturating_add(SimSpan::ZERO));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimSpan::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let d = t - SimTime::from_secs(1);
+        assert_eq!(d, SimSpan::from_millis(500));
+        assert_eq!(SimSpan::from_secs(4) / 2, SimSpan::from_secs(2));
+        assert_eq!(SimSpan::from_secs(2) * 3, SimSpan::from_secs(6));
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.saturating_since(a), SimSpan::from_secs(1));
+        assert_eq!(a.saturating_since(b), SimSpan::ZERO);
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    fn transfer_span_basics() {
+        // 1 MB over 100 Gbps = 8e6 / 1e11 = 80 us.
+        let d = transfer_span(1_000_000, 100e9);
+        assert_eq!(d, SimSpan::from_micros(80));
+        assert_eq!(transfer_span(0, 100e9), SimSpan::ZERO);
+        assert_eq!(transfer_span(1, 0.0), SimSpan::MAX);
+        // Rounds up: a single byte over 100 Gbps is sub-nanosecond but not free.
+        assert!(transfer_span(1, 100e9) >= SimSpan::from_nanos(1));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # HeroServe — hybrid communication scheduling for LLM serving
+//!
+//! A from-scratch Rust reproduction of *"Scalable and Fast Inference
+//! Serving via Hybrid Communication Scheduling on Heterogeneous Networks"*
+//! (Chen et al., IEEE CLUSTER 2025). HeroServe accelerates prefill/decode
+//! disaggregated LLM serving by exploiting **heterogeneous** networks —
+//! intra-server NVLink plus inter-server Ethernet with programmable
+//! switches — instead of pushing every all-reduce over homogeneous
+//! Ethernet.
+//!
+//! The two contributions, both implemented here:
+//!
+//! * [`planner`] — the **scalability-oriented offline planner**
+//!   (Algorithm 1): jointly picks tensor/pipeline parallelism, GPU
+//!   placement, per-group aggregation switch, and per-group communication
+//!   scheme (INA `α` vs ring `β`, Eq. 7), maximizing served requests per
+//!   second under TTFT/TPOT SLAs. Its network-estimation core
+//!   ([`netest`], Algorithm 2) precomputes all-pairs shortest paths,
+//!   groups GPUs with constrained k-means, and refines with random-swap
+//!   perturbation.
+//! * [`scheduler`] — the **load-aware online scheduler** (§III-D):
+//!   per-group policy cost tables over candidate (scheme, path) policies,
+//!   selection by `c* = argmin J(c, D)` (Eq. 16), virtual-utilization
+//!   updates with the shared-link load-penalty function (Eqs. 17–18), and
+//!   periodic synchronization against monitored link utilization (the
+//!   central controller's role).
+//!
+//! [`system`] wires both into the [`hs_cluster`] simulator: `HeroServe`
+//! plans a deployment, then serves a trace with the online scheduler
+//! driving every collective. The [`queueing`] module supplies the
+//! Pollaczek–Khinchine waiting-time estimate of §III-C1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use heroserve::prelude::*;
+//!
+//! // The paper's testbed: 4 GPU servers, 2 Tofino switches.
+//! let topo = hs_topology::builders::testbed();
+//! let workload = hs_workload::sharegpt_like();
+//! let system = HeroServe::plan(&topo, &hs_model::ModelConfig::opt_13b(), &workload, 4.0)
+//!     .expect("feasible deployment");
+//! let report = system.serve_trace(42, 4.0, hs_des::SimTime::from_secs(5));
+//! assert!(report.arrived > 0);
+//! ```
+
+pub mod netest;
+pub mod planner;
+pub mod policy;
+pub mod queueing;
+pub mod scheduler;
+pub mod spec;
+pub mod system;
+
+pub use planner::{plan, PlannerError, PlannerOutput, SchemeSpace, SolveStats};
+pub use scheduler::HeroScheduler;
+pub use spec::{ClusterPlan, GroupScheme, PlannerInput};
+pub use system::HeroServe;
+
+/// Convenient glob imports for examples and benches.
+pub mod prelude {
+    pub use crate::planner::{plan, PlannerOutput, SchemeSpace};
+    pub use crate::scheduler::HeroScheduler;
+    pub use crate::spec::PlannerInput;
+    pub use crate::system::HeroServe;
+}

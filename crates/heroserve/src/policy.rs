@@ -1,0 +1,201 @@
+//! Candidate policies for the online scheduler (Fig. 5's table rows).
+//!
+//! A *policy* is "a set of routing configurations, e.g., the transmission
+//! scheme (INA or ring), the next hop, the transmission path and etc"
+//! (§III-D). For each tensor-parallel group we enumerate the schemes the
+//! hybrid space allows — hierarchical INA at each of the nearest
+//! INA-capable switches, flat INA, hierarchical ring, flat ring — and
+//! record the exact link set each would use, so costs can track shared
+//! links precisely.
+
+use hs_collective::{
+    hierarchical_ina_latency, hierarchical_ring_latency, ina_latency, ring_latency,
+    CollectivePlan, Scheme,
+};
+use hs_topology::{AllPairs, Graph, LinkId, NodeId};
+
+/// One candidate (scheme, route set) for a group.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    /// The scheme this policy executes.
+    pub scheme: Scheme,
+    /// Every link the scheme's plan touches (deduplicated, sorted).
+    pub links: Vec<LinkId>,
+    /// Seconds of busiest-link occupancy per payload byte: the maximum
+    /// over the policy's links of `(bytes the plan puts on that link per
+    /// payload byte) × 8 / capacity`. Multiplying by a transfer volume
+    /// and dividing by the estimation window yields the paper's δ — the
+    /// *maximum bandwidth utilization ratio* the transfer adds (§III-D's
+    /// policy cost is explicitly the max across involved links).
+    pub max_link_secs_per_byte: f64,
+    /// Closed-form latency of the scheme on an idle fabric, seconds per
+    /// probe volume — the tiebreak among equally-loaded policies (the
+    /// planner's latency preference carried into the online table).
+    pub base_latency_s: f64,
+}
+
+/// Links a compiled plan touches.
+fn plan_links(plan: &CollectivePlan) -> Vec<LinkId> {
+    let mut links: Vec<LinkId> = plan
+        .phases
+        .iter()
+        .flat_map(|p| p.transfers.iter().flat_map(|(ls, _)| ls.iter().map(|&(l, _)| l)))
+        .collect();
+    links.sort_unstable();
+    links.dedup();
+    links
+}
+
+/// Build the candidate policy list for `group`.
+///
+/// `k_switches` bounds how many nearest INA switches get their own
+/// hierarchical-INA policy (path diversity for load balancing).
+pub fn build_policies(
+    g: &Graph,
+    ap: &AllPairs,
+    group: &[NodeId],
+    ina_switches: &[NodeId],
+    k_switches: usize,
+) -> Vec<Policy> {
+    // Reference volume: per-byte structure is what matters; compile with
+    // a fixed probe size.
+    const PROBE: u64 = 1 << 20;
+    let mut policies = Vec::new();
+    let mut push = |scheme: Scheme| {
+        let base_latency_s = match scheme {
+            Scheme::Ring => ring_latency(g, group, ap, PROBE, None),
+            Scheme::HierRing => hierarchical_ring_latency(g, group, ap, PROBE, None),
+            Scheme::Ina { switch } => ina_latency(g, group, switch, ap, PROBE, None),
+            Scheme::HierIna { switch } => {
+                hierarchical_ina_latency(g, group, switch, ap, PROBE, None)
+            }
+        };
+        let plan = CollectivePlan::compile(g, ap, group, scheme, PROBE);
+        if plan.phases.is_empty() {
+            return;
+        }
+        let links = plan_links(&plan);
+        if links.is_empty() {
+            return;
+        }
+        // Bytes each *directed* link carries across the whole plan (full
+        // duplex: the two directions are independent pools).
+        let mut per_dir: rustc_hash::FxHashMap<(LinkId, bool), u64> =
+            rustc_hash::FxHashMap::default();
+        for phase in &plan.phases {
+            for (ls, bytes) in &phase.transfers {
+                for &d in ls {
+                    *per_dir.entry(d).or_insert(0) += bytes;
+                }
+            }
+        }
+        let max_link_secs_per_byte = per_dir
+            .iter()
+            .map(|(&(l, _), &bytes)| {
+                (bytes as f64 / PROBE as f64) * 8.0 / g.link(l).capacity_bps
+            })
+            .fold(0.0f64, f64::max);
+        policies.push(Policy {
+            scheme,
+            links,
+            max_link_secs_per_byte,
+            base_latency_s,
+        });
+    };
+
+    // Nearest switches by worst-member hop distance (covered nodes only).
+    let mut switches: Vec<NodeId> = ina_switches
+        .iter()
+        .filter(|&&s| ap.covers(s))
+        .copied()
+        .collect();
+    switches.sort_by(|&a, &b| {
+        let da = group.iter().map(|&k| ap.dist(k, a)).fold(0.0f64, f64::max);
+        let db = group.iter().map(|&k| ap.dist(k, b)).fold(0.0f64, f64::max);
+        da.partial_cmp(&db)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    for &sw in switches.iter().take(k_switches.max(1)) {
+        push(Scheme::HierIna { switch: sw });
+    }
+    if let Some(&sw) = switches.first() {
+        push(Scheme::Ina { switch: sw });
+    }
+    push(Scheme::HierRing);
+    push(Scheme::Ring);
+    policies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_topology::builders::testbed;
+    use hs_topology::LinkWeight;
+
+    fn setup() -> (hs_topology::builders::BuiltTopology, AllPairs) {
+        let t = testbed();
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        (t, ap)
+    }
+
+    #[test]
+    fn builds_diverse_policies_for_cross_server_group() {
+        let (t, ap) = setup();
+        let group: Vec<NodeId> = t.gpus_by_server.iter().map(|s| s[0]).collect();
+        let pols = build_policies(&t.graph, &ap, &group, &t.access_switches, 2);
+        // 2 hier-INA + flat INA + hier ring + flat ring.
+        assert_eq!(pols.len(), 5);
+        let schemes: Vec<_> = pols.iter().map(|p| p.scheme).collect();
+        assert!(schemes.iter().any(|s| matches!(s, Scheme::HierIna { .. })));
+        assert!(schemes.contains(&Scheme::Ring));
+        for p in &pols {
+            assert!(!p.links.is_empty());
+            assert!(p.max_link_secs_per_byte > 0.0);
+            // Links sorted + deduped.
+            for w in p.links.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_switches_give_distinct_link_sets() {
+        let (t, ap) = setup();
+        let group: Vec<NodeId> = t.gpus_by_server.iter().map(|s| s[0]).collect();
+        let pols = build_policies(&t.graph, &ap, &group, &t.access_switches, 2);
+        let ina_pols: Vec<&Policy> = pols
+            .iter()
+            .filter(|p| matches!(p.scheme, Scheme::HierIna { .. }))
+            .collect();
+        assert_eq!(ina_pols.len(), 2);
+        assert_ne!(ina_pols[0].links, ina_pols[1].links);
+    }
+
+    #[test]
+    fn singleton_group_has_no_policies() {
+        let (t, ap) = setup();
+        let group = vec![t.gpus_by_server[0][0]];
+        let pols = build_policies(&t.graph, &ap, &group, &t.access_switches, 2);
+        assert!(pols.is_empty());
+    }
+
+    #[test]
+    fn hierarchical_ring_amplifies_less_on_ethernet() {
+        // For a same-server pair the hierarchical schemes stay on NVLink;
+        // the policy structure reflects it via NVLink-only link sets.
+        let (t, ap) = setup();
+        let group = vec![t.gpus_by_server[0][0], t.gpus_by_server[0][1]];
+        let pols = build_policies(&t.graph, &ap, &group, &t.access_switches, 1);
+        let hier = pols
+            .iter()
+            .find(|p| p.scheme == Scheme::HierRing)
+            .expect("hier ring policy");
+        assert!(hier
+            .links
+            .iter()
+            .all(|&l| t.graph.link(l).kind == hs_topology::LinkKind::NvLink));
+    }
+}

@@ -1,0 +1,439 @@
+//! The load-aware online scheduler (§III-D).
+//!
+//! Each tensor-parallel group keeps a **policy cost table** (Fig. 5) over
+//! its candidate (scheme, route) policies. On every `ncclAllreduce`-
+//! equivalent — i.e. every iteration's collective — the scheduler:
+//!
+//! 1. selects `c* = argmin_c J(c, D)` (Eq. 16) where `J(c, D) = b_c + δ`
+//!    with `b_c` the policy's virtual bandwidth-utilization cost and `δ`
+//!    the utilization the new transfer of `D` bytes would add over the
+//!    estimation window `T_u` on the policy's bottleneck links;
+//! 2. charges the chosen policy `b'_{c*} = b_{c*} + δ` and every other
+//!    policy `b'_c = b_c + δ·f_{(c*,c)}` (Eq. 17), where the load-penalty
+//!    `f` captures how much of `c`'s route the chosen policy loads;
+//! 3. periodically refreshes `f` with the exponentially smoothed sharing
+//!    ratio `W_{(c*,c)} = Σ_{e ∈ c*∩c} B(e) / Σ_{e ∈ c} B(e)` (Eq. 18)
+//!    and relaxes every `b_c` toward the *measured* utilization of its
+//!    links — the role of the central controller's synchronization, which
+//!    in this single-process simulation is exact.
+
+use crate::policy::{build_policies, Policy};
+use hs_cluster::{BusyPolicy, CommCtx, CommStrategy};
+use hs_collective::Scheme;
+use hs_des::SimTime;
+use hs_topology::routing::k_shortest_paths;
+use hs_topology::{AllPairs, Graph, LinkWeight, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Tunables of the online scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerParams {
+    /// Estimation window `T_u`, seconds (how long a transfer's load is
+    /// assumed to occupy its links).
+    pub t_u_s: f64,
+    /// Penalty smoothing factor `γ` of Eq. 18.
+    pub gamma: f64,
+    /// Measurement-synchronization factor: how strongly monitored
+    /// utilization pulls `b_c` back to reality each control-plane poll.
+    pub kappa: f64,
+    /// How many nearest INA switches get candidate policies.
+    pub k_switches: usize,
+}
+
+impl Default for SchedulerParams {
+    fn default() -> Self {
+        SchedulerParams {
+            t_u_s: 0.05,
+            gamma: 0.3,
+            kappa: 0.5,
+            k_switches: 2,
+        }
+    }
+}
+
+/// The per-group policy cost table (Fig. 5).
+struct PolicyTable {
+    policies: Vec<Policy>,
+    /// Virtual utilization cost `b_c` per policy.
+    b: Vec<f64>,
+    /// Load penalty `f_{(i,j)}`: impact of choosing `i` on `j`.
+    f: Vec<Vec<f64>>,
+    /// Selections per policy (diagnostics/ablation).
+    picks: Vec<u64>,
+}
+
+impl PolicyTable {
+    fn new(policies: Vec<Policy>) -> Self {
+        let n = policies.len();
+        // Initialize f with the *structural* sharing ratio (capacity
+        // weighted); Eq. 18 refreshes it with live utilization later.
+        let mut f = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    f[i][j] = sharing_ratio(&policies[i], &policies[j], None);
+                }
+            }
+        }
+        PolicyTable {
+            b: vec![0.0; n],
+            f,
+            picks: vec![0; n],
+            policies,
+        }
+    }
+
+    /// Eq. 16: pick the policy minimizing `J(c, D) = b_c + δ_c`;
+    /// policies within one utilization quantum of each other are
+    /// tie-broken by idle-fabric latency (the offline planner's scheme
+    /// preference, so the hybrid choice degrades gracefully to "fastest
+    /// scheme" when nothing is loaded).
+    fn select(&self, bytes: u64, t_u: f64) -> usize {
+        const QUANTUM: f64 = 0.10;
+        let mut best = 0;
+        let mut best_key = (usize::MAX, f64::INFINITY);
+        for (i, p) in self.policies.iter().enumerate() {
+            let j = self.b[i] + delta(p, bytes, t_u);
+            let key = ((j / QUANTUM) as usize, p.base_latency_s);
+            if key.0 < best_key.0
+                || (key.0 == best_key.0 && key.1 < best_key.1)
+            {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Eq. 17: charge the chosen policy and penalize the sharers.
+    fn charge(&mut self, chosen: usize, bytes: u64, t_u: f64) {
+        let d = delta(&self.policies[chosen], bytes, t_u);
+        for i in 0..self.b.len() {
+            if i == chosen {
+                self.b[i] += d;
+            } else {
+                self.b[i] += d * self.f[chosen][i];
+            }
+        }
+        self.picks[chosen] += 1;
+    }
+
+    /// Eq. 18 + measurement sync.
+    fn refresh(&mut self, link_util: &[f64], gamma: f64, kappa: f64) {
+        let n = self.policies.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let w = sharing_ratio(&self.policies[i], &self.policies[j], Some(link_util));
+                    self.f[i][j] = (1.0 - gamma) * self.f[i][j] + gamma * w;
+                }
+            }
+        }
+        // Pull virtual costs toward the measured utilization of each
+        // policy's links (the controller's ground truth).
+        for (i, p) in self.policies.iter().enumerate() {
+            let measured = p
+                .links
+                .iter()
+                .map(|l| link_util.get(l.idx()).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            self.b[i] = (1.0 - kappa) * self.b[i] + kappa * measured;
+        }
+    }
+}
+
+/// Added *maximum* link-utilization ratio of transferring `bytes` over
+/// the policy within the estimation window (Eq. 16's δ).
+fn delta(p: &Policy, bytes: u64, t_u: f64) -> f64 {
+    bytes as f64 * p.max_link_secs_per_byte / t_u
+}
+
+/// `W_{(c*,c)}`: how much of `c`'s route the chosen policy `c*` loads.
+/// With `util`, links are weighted by `capacity × utilization` as the
+/// paper monitors; without, by capacity (structural prior).
+fn sharing_ratio(chosen: &Policy, other: &Policy, util: Option<&[f64]>) -> f64 {
+    let weight = |l: hs_topology::LinkId, cap: f64| -> f64 {
+        match util {
+            Some(u) => cap * u.get(l.idx()).copied().unwrap_or(0.0).max(0.05),
+            None => cap,
+        }
+    };
+    // `other.links` is sorted; binary search for intersection. Links are
+    // weighted uniformly within a policy (per-class fabrics make capacity
+    // weighting a constant factor that cancels in the ratio).
+    let mut shared = 0.0;
+    let mut total = 0.0;
+    for &l in &other.links {
+        let w = weight(l, 1.0);
+        total += w;
+        if chosen.links.binary_search(&l).is_ok() {
+            shared += w;
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        shared / total
+    }
+}
+
+/// The HeroServe online scheduler, pluggable into the cluster simulator.
+pub struct HeroScheduler {
+    graph: Graph,
+    ap: AllPairs,
+    ina_switches: Vec<NodeId>,
+    params: SchedulerParams,
+    tables: FxHashMap<u64, PolicyTable>,
+    link_util: Vec<f64>,
+    /// Cached alternative routes per endpoint pair (Yen's k-shortest),
+    /// for the point-to-point path policies of Fig. 5.
+    route_cache: FxHashMap<(NodeId, NodeId), Vec<Vec<hs_simnet::DirLink>>>,
+}
+
+impl HeroScheduler {
+    /// Build a scheduler over the fabric. `ap` must cover the GPUs and
+    /// INA switches (reuse the planner's all-pairs structures).
+    pub fn new(graph: &Graph, ap: AllPairs, params: SchedulerParams) -> Self {
+        let ina_switches = graph.ina_switches();
+        let link_util = vec![0.0; graph.link_count()];
+        HeroScheduler {
+            graph: graph.clone(),
+            ap,
+            ina_switches,
+            params,
+            tables: FxHashMap::default(),
+            link_util,
+            route_cache: FxHashMap::default(),
+        }
+    }
+
+    /// How many times each policy of `group_id` has been selected
+    /// (diagnostics for the ablation benches).
+    pub fn pick_counts(&self, group_id: u64) -> Option<Vec<(Scheme, u64)>> {
+        self.tables.get(&group_id).map(|t| {
+            t.policies
+                .iter()
+                .zip(&t.picks)
+                .map(|(p, &c)| (p.scheme, c))
+                .collect()
+        })
+    }
+
+    fn table_for(&mut self, group_id: u64, group: &[NodeId]) -> Option<&mut PolicyTable> {
+        if !self.tables.contains_key(&group_id) {
+            let pols = build_policies(
+                &self.graph,
+                &self.ap,
+                group,
+                &self.ina_switches,
+                self.params.k_switches,
+            );
+            if pols.is_empty() {
+                return None;
+            }
+            self.tables.insert(group_id, PolicyTable::new(pols));
+        }
+        self.tables.get_mut(&group_id)
+    }
+}
+
+impl CommStrategy for HeroScheduler {
+    fn choose(&mut self, ctx: &CommCtx<'_>) -> Scheme {
+        let t_u = self.params.t_u_s;
+        let Some(table) = self.table_for(ctx.group_id, ctx.group) else {
+            return Scheme::Ring; // degenerate group
+        };
+        let chosen = table.select(ctx.bytes, t_u);
+        table.charge(chosen, ctx.bytes, t_u);
+        table.policies[chosen].scheme
+    }
+
+    fn busy_policy(&self) -> BusyPolicy {
+        BusyPolicy::FallbackHierRing
+    }
+
+    /// Route point-to-point transfers (KV cache, pipeline hops) over the
+    /// least-loaded of the k shortest routes — the "next hop /
+    /// transmission path" dimension of the policy table. On the paper's
+    /// cross-connected testbed this spreads KV traffic over both Tofino
+    /// switches instead of hammering one static path.
+    fn choose_path(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _bytes: u64,
+        link_util: &[f64],
+    ) -> Option<Vec<hs_simnet::DirLink>> {
+        if src == dst {
+            return None;
+        }
+        let graph = &self.graph;
+        let routes = self.route_cache.entry((src, dst)).or_insert_with(|| {
+            k_shortest_paths(graph, src, dst, 3, LinkWeight::Latency, None)
+                .into_iter()
+                // Alternatives more than ~2 hops longer than the best are
+                // never worth the detour for bulk transfers.
+                .scan(None::<usize>, |best, p| {
+                    let hops = p.links.len();
+                    let b = *best.get_or_insert(hops);
+                    Some((hops <= b + 2).then_some(p.directed_links(graph)))
+                })
+                .flatten()
+                .collect()
+        });
+        if routes.is_empty() {
+            return None;
+        }
+        let score = |links: &[hs_simnet::DirLink]| -> (f64, usize) {
+            let max_util = links
+                .iter()
+                .map(|(l, _)| link_util.get(l.idx()).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            (max_util, links.len())
+        };
+        routes
+            .iter()
+            .min_by(|a, b| {
+                let (ua, la) = score(a);
+                let (ub, lb) = score(b);
+                ua.partial_cmp(&ub)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| la.cmp(&lb))
+            })
+            .cloned()
+    }
+
+    fn on_monitor(&mut self, link_util: &[f64], _now: SimTime) {
+        self.link_util.clear();
+        self.link_util.extend_from_slice(link_util);
+        for table in self.tables.values_mut() {
+            table.refresh(link_util, self.params.gamma, self.params.kappa);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "HeroServe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_topology::builders::testbed;
+    use hs_topology::LinkWeight;
+
+    fn scheduler() -> (HeroScheduler, Vec<NodeId>, hs_topology::builders::BuiltTopology) {
+        let t = testbed();
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let group: Vec<NodeId> = t.gpus_by_server.iter().map(|s| s[0]).collect();
+        (
+            HeroScheduler::new(&t.graph, ap, SchedulerParams::default()),
+            group,
+            t,
+        )
+    }
+
+    fn ctx<'a>(group: &'a [NodeId], util: &'a [f64], bytes: u64) -> CommCtx<'a> {
+        CommCtx {
+            group_id: 1,
+            group,
+            bytes,
+            now: SimTime::ZERO,
+            link_util: util,
+        }
+    }
+
+    #[test]
+    fn prefers_heterogeneous_ina_when_idle() {
+        let (mut s, group, t) = scheduler();
+        let util = vec![0.0; t.graph.link_count()];
+        let scheme = s.choose(&ctx(&group, &util, 1 << 20));
+        assert!(
+            matches!(scheme, Scheme::HierIna { .. }),
+            "idle network should pick hierarchical INA, got {scheme:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_load_spreads_across_policies() {
+        let (mut s, group, _) = scheduler();
+        let util = vec![];
+        // Hammer the same group with large transfers without any
+        // measurement relaxation: virtual costs build up and the argmin
+        // rotates across policies.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let scheme = s.choose(&ctx(&group, &util, 64 << 20));
+            seen.insert(format!("{scheme:?}"));
+        }
+        assert!(
+            seen.len() >= 2,
+            "cost accumulation should rotate policies, saw {seen:?}"
+        );
+        let picks = s.pick_counts(1).unwrap();
+        let total: u64 = picks.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn monitor_feedback_steers_away_from_hot_links() {
+        let (mut s, group, t) = scheduler();
+        // First pick establishes the favorite (a hierarchical INA at some
+        // switch). Then report its links as saturated.
+        let idle = vec![0.0; t.graph.link_count()];
+        let first = s.choose(&ctx(&group, &idle, 1 << 20));
+        let Scheme::HierIna { switch } = first else {
+            panic!("expected HierIna first, got {first:?}")
+        };
+        // Saturate every Ethernet link into that switch.
+        let mut util = vec![0.0; t.graph.link_count()];
+        for (lid, link) in t.graph.links() {
+            if link.a == switch || link.b == switch {
+                util[lid.idx()] = 1.0;
+            }
+        }
+        for _ in 0..3 {
+            s.on_monitor(&util, SimTime::ZERO);
+        }
+        let next = s.choose(&ctx(&group, &util, 1 << 20));
+        assert_ne!(
+            next, first,
+            "scheduler kept using a saturated switch: {next:?}"
+        );
+    }
+
+    #[test]
+    fn busy_policy_is_hierarchical() {
+        let (s, _, _) = scheduler();
+        assert_eq!(s.busy_policy(), BusyPolicy::FallbackHierRing);
+        assert_eq!(s.name(), "HeroServe");
+    }
+
+    #[test]
+    fn degenerate_group_falls_back_to_ring() {
+        let (mut s, _, t) = scheduler();
+        let lone = vec![t.gpus_by_server[0][0]];
+        let util = vec![];
+        assert_eq!(s.choose(&ctx(&lone, &util, 1024)), Scheme::Ring);
+    }
+
+    #[test]
+    fn sharing_ratio_bounds() {
+        let (mut s, group, t) = scheduler();
+        let util = vec![0.0; t.graph.link_count()];
+        s.choose(&ctx(&group, &util, 1024));
+        let table = s.tables.get(&1).unwrap();
+        for row in &table.f {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "f out of range: {v}");
+            }
+        }
+        // A policy fully contained in another has ratio 1 toward itself's
+        // superset direction; self-entries are zero by construction.
+        for i in 0..table.f.len() {
+            assert_eq!(table.f[i][i], 0.0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The HeroServe system facade: plan a deployment, then serve traces.
+//!
+//! Mirrors §IV's architecture — the central scheduler plans placement and
+//! communication offline, GPU agents run the load-aware online scheduler,
+//! switch agents enforce INA — wired into the `hs-cluster` simulator.
+
+use crate::planner::{plan, PlannerError, PlannerOutput, SchemeSpace};
+use crate::scheduler::{HeroScheduler, SchedulerParams};
+use crate::spec::PlannerInput;
+use hs_cluster::batching::BatchPolicy;
+use hs_cluster::{ClusterConfig, ClusterSim, SimReport};
+use hs_des::{SeedSplitter, SimSpan, SimTime};
+use hs_model::profile::{fit, ProfileGrid};
+use hs_model::{BatchStats, CostCoefficients, GpuModel, ModelConfig};
+use hs_topology::builders::BuiltTopology;
+use hs_topology::{AllPairs, LinkWeight, NodeId};
+use hs_workload::{Poisson, Trace, WorkloadSpec};
+
+/// A planned HeroServe deployment, ready to serve traces.
+pub struct HeroServe {
+    /// The fabric.
+    pub topology: BuiltTopology,
+    /// The planner's decision.
+    pub output: PlannerOutput,
+    /// Model shape.
+    pub model: ModelConfig,
+    /// Fitted compute coefficients.
+    pub coef: CostCoefficients,
+    /// The workload (SLAs + length distributions).
+    pub workload: WorkloadSpec,
+    /// Online-scheduler tunables.
+    pub sched_params: SchedulerParams,
+    /// Per-switch concurrent INA-job capacity.
+    pub ina_capacity_per_switch: usize,
+    /// Bursty background cross traffic `(flows/s, bytes)`.
+    pub background: Option<(f64, u64)>,
+}
+
+/// Default profiling-based coefficient fit for a topology's dominant GPU.
+pub fn default_coefficients(model: &ModelConfig) -> CostCoefficients {
+    fit(&GpuModel::a100(), model, &ProfileGrid::default()).coefficients
+}
+
+/// Estimated batch statistics from a workload's analytic means (the
+/// moving-average state the online side would maintain, §III-B).
+pub fn expected_batch(workload: &WorkloadSpec, q: u32) -> BatchStats {
+    let l_in = workload.input.analytic_mean().round().max(1.0) as u64;
+    let l_out = workload.output.analytic_mean().round().max(1.0) as u64;
+    BatchStats::uniform(q, l_in, l_out)
+}
+
+impl HeroServe {
+    /// Plan a deployment of `model` on `topo` for `workload` at the
+    /// expected `rate` (req/s), using the hybrid scheme space.
+    pub fn plan(
+        topo: &BuiltTopology,
+        model: &ModelConfig,
+        workload: &WorkloadSpec,
+        rate: f64,
+    ) -> Result<Self, PlannerError> {
+        let coef = default_coefficients(model);
+        let input = PlannerInput::basic(
+            &topo.graph,
+            model.clone(),
+            coef,
+            expected_batch(workload, 8),
+            rate,
+            workload.ttft_sla_s,
+            workload.tpot_sla_s,
+        );
+        let output = plan(&input, SchemeSpace::Hybrid)?;
+        Ok(HeroServe {
+            topology: topo.clone(),
+            output,
+            model: model.clone(),
+            coef,
+            workload: workload.clone(),
+            sched_params: SchedulerParams::default(),
+            ina_capacity_per_switch: 8,
+            background: None,
+        })
+    }
+
+    /// Plan with a caller-supplied input (full control over memory,
+    /// bandwidth, GPU split).
+    pub fn plan_with_input(
+        topo: &BuiltTopology,
+        input: &PlannerInput,
+        workload: &WorkloadSpec,
+    ) -> Result<Self, PlannerError> {
+        let output = plan(input, SchemeSpace::Hybrid)?;
+        Ok(HeroServe {
+            topology: topo.clone(),
+            output,
+            model: input.model.clone(),
+            coef: input.coef,
+            workload: workload.clone(),
+            sched_params: SchedulerParams::default(),
+            ina_capacity_per_switch: 8,
+            background: None,
+        })
+    }
+
+    /// All-pairs structures covering the planned GPUs and INA switches.
+    pub fn all_pairs(&self) -> AllPairs {
+        let mut nodes: Vec<NodeId> = self.topology.all_gpus();
+        nodes.extend(self.topology.graph.ina_switches());
+        nodes.sort_unstable();
+        nodes.dedup();
+        AllPairs::compute(&self.topology.graph, &nodes, LinkWeight::Latency, None)
+    }
+
+    /// The cluster-simulator configuration this plan induces.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let gpu_memory_bytes = self
+            .topology
+            .all_gpus()
+            .iter()
+            .filter_map(|&g| self.topology.graph.gpu_spec(g).map(|s| s.memory_bytes))
+            .min()
+            .unwrap_or(40 * (1 << 30));
+        ClusterConfig {
+            model: self.model.clone(),
+            coef: self.coef,
+            ttft_sla_s: self.workload.ttft_sla_s,
+            tpot_sla_s: self.workload.tpot_sla_s,
+            prefill: self.output.prefill.instances.clone(),
+            decode: self.output.decode.instances.clone(),
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes,
+            monitor_period: SimSpan::from_millis(50),
+            ina_capacity_per_switch: self.ina_capacity_per_switch,
+            background: self.background,
+        }
+    }
+
+    /// The online scheduler instance for this deployment.
+    pub fn online_scheduler(&self) -> HeroScheduler {
+        HeroScheduler::new(&self.topology.graph, self.all_pairs(), self.sched_params)
+    }
+
+    /// Serve a Poisson trace of this system's workload at `rate` req/s
+    /// for `duration`, plus a drain margin; returns the report.
+    pub fn serve_trace(&self, seed: u64, rate: f64, duration: SimTime) -> SimReport {
+        let mut rng = SeedSplitter::new(seed).stream("trace");
+        let mut arr = Poisson::new(rate);
+        let trace = Trace::generate(&self.workload, &mut arr, &mut rng, duration);
+        self.serve(&trace, duration)
+    }
+
+    /// Serve an explicit trace; the simulation runs to `horizon` plus a
+    /// drain margin of 25 % (capped at 60 s) so in-flight requests can
+    /// finish.
+    pub fn serve(&self, trace: &Trace, horizon: SimTime) -> SimReport {
+        let margin = SimSpan::from_secs_f64((horizon.as_secs_f64() * 0.25).min(60.0));
+        let mut sim = ClusterSim::new(
+            &self.topology.graph,
+            self.all_pairs(),
+            self.cluster_config(),
+            trace,
+            Box::new(self.online_scheduler()),
+        );
+        sim.run(horizon + margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_topology::builders::testbed;
+
+    #[test]
+    fn plan_and_serve_chatbot() {
+        let topo = testbed();
+        let workload = hs_workload::sharegpt_like();
+        // OPT-66B genuinely needs multi-GPU tensor groups on 32-40 GB
+        // GPUs, so the communication path is exercised for real.
+        let hs = HeroServe::plan(&topo, &ModelConfig::opt_66b(), &workload, 0.5)
+            .expect("feasible plan");
+        assert!(hs.output.est_h_rps > 0.0);
+        assert!(hs.output.prefill.p_tens * hs.output.prefill.p_pipe >= 4);
+        let report = hs.serve_trace(7, 0.5, SimTime::from_secs(10));
+        assert!(report.arrived > 2);
+        assert!(report.completed > 0);
+        assert_eq!(report.strategy, "HeroServe");
+        // Tensor-parallel collectives actually ran.
+        assert!(report.ina_ops + report.ring_ops > 0, "no collectives recorded");
+        assert!(report.nvlink_bytes > 0.0, "heterogeneous path unused");
+    }
+
+    #[test]
+    fn cluster_config_reflects_plan() {
+        let topo = testbed();
+        let workload = hs_workload::sharegpt_like();
+        let hs = HeroServe::plan(&topo, &ModelConfig::opt_13b(), &workload, 1.0).unwrap();
+        let cfg = hs.cluster_config();
+        assert_eq!(cfg.prefill.len(), hs.output.prefill.instances.len());
+        assert_eq!(cfg.decode.len(), hs.output.decode.instances.len());
+        assert_eq!(cfg.ttft_sla_s, 2.5);
+        // Testbed min memory = V100 32 GB.
+        assert_eq!(cfg.gpu_memory_bytes, 32 * (1 << 30));
+    }
+
+    #[test]
+    fn expected_batch_uses_workload_means() {
+        let b = expected_batch(&hs_workload::sharegpt_like(), 8);
+        assert_eq!(b.q, 8);
+        assert_eq!(b.k_in, 8 * 160);
+    }
+}

@@ -1,0 +1,150 @@
+//! Eqs. 12–13: the planner's compute-latency forms.
+//!
+//! ```text
+//! T_c^pre = C1/P_tens · (4h² + 2hm)·K_in·L  +  C2/(b·P_tens) · 3h·K_in2·L  +  C3    (Eq. 12)
+//! T_c^dec = C4/(P_tens·P_pipe) · (4h² + 2hm)·L  +  C5/(P_tens·P_pipe) · 3h·K_in·L  +  C6 (Eq. 13)
+//! ```
+//!
+//! (The paper writes the per-layer forms with `L` folded into the fitted
+//! constants; we keep `L` explicit in the feature so one fit generalizes
+//! across model depths, which changes nothing for a fixed model.)
+//!
+//! `C1, C2, C4, C5` are linear fitting parameters; `C3` absorbs Python
+//! runtime / system noise and `C6` the pipeline-fill overhead (§III-C2).
+//! [`crate::profile`] produces the coefficients.
+
+use crate::config::{BatchStats, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// The six fitted coefficients of Eqs. 12–13.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostCoefficients {
+    /// Linear GEMM term of prefill (s per FLOP-ish unit).
+    pub c1: f64,
+    /// Attention term of prefill.
+    pub c2: f64,
+    /// Fixed prefill overhead (s).
+    pub c3: f64,
+    /// Linear GEMM term of decode.
+    pub c4: f64,
+    /// Attention/KV term of decode.
+    pub c5: f64,
+    /// Fixed decode overhead incl. pipeline fill (s).
+    pub c6: f64,
+    /// Attention kernel block size `b` (Table I), folded into Eq. 12.
+    pub block: f64,
+}
+
+impl CostCoefficients {
+    /// Coefficients with the default attention block size (128).
+    pub fn with_block(c1: f64, c2: f64, c3: f64, c4: f64, c5: f64, c6: f64) -> Self {
+        CostCoefficients {
+            c1,
+            c2,
+            c3,
+            c4,
+            c5,
+            c6,
+            block: 128.0,
+        }
+    }
+}
+
+/// The two prefill regression features of Eq. 12 (GEMM term, attention
+/// term) for a given shape/batch/parallelism, *before* applying `C1, C2`.
+pub fn prefill_features(model: &ModelConfig, batch: &BatchStats, p_tens: u32, block: f64) -> [f64; 2] {
+    let h = model.hidden as f64;
+    let m = model.ffn as f64;
+    let l = model.layers as f64;
+    let p = p_tens.max(1) as f64;
+    let gemm = (4.0 * h * h + 2.0 * h * m) * batch.k_in as f64 * l / p;
+    let attn = 3.0 * h * batch.k_in2 as f64 * l / (block * p);
+    [gemm, attn]
+}
+
+/// The two decode regression features of Eq. 13.
+pub fn decode_features(model: &ModelConfig, batch: &BatchStats, p_tens: u32, p_pipe: u32) -> [f64; 2] {
+    let h = model.hidden as f64;
+    let m = model.ffn as f64;
+    let l = model.layers as f64;
+    let p = (p_tens.max(1) * p_pipe.max(1)) as f64;
+    let gemm = (4.0 * h * h + 2.0 * h * m) * l / p;
+    let kv = 3.0 * h * batch.k_in as f64 * l / p;
+    [gemm, kv]
+}
+
+/// Eq. 12: prefill compute latency (seconds).
+pub fn prefill_latency_secs(
+    coef: &CostCoefficients,
+    model: &ModelConfig,
+    batch: &BatchStats,
+    p_tens: u32,
+) -> f64 {
+    let [gemm, attn] = prefill_features(model, batch, p_tens, coef.block);
+    coef.c1 * gemm + coef.c2 * attn + coef.c3
+}
+
+/// Eq. 13: per-output-token decode compute latency (seconds).
+pub fn decode_latency_secs(
+    coef: &CostCoefficients,
+    model: &ModelConfig,
+    batch: &BatchStats,
+    p_tens: u32,
+    p_pipe: u32,
+) -> f64 {
+    let [gemm, kv] = decode_features(model, batch, p_tens, p_pipe);
+    coef.c4 * gemm + coef.c5 * kv + coef.c6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coef() -> CostCoefficients {
+        // Roughly 1/(170 TFLOPS effective) per FLOP for the GEMM terms.
+        CostCoefficients::with_block(2.0 / 170e12, 2.0 / 170e12, 2e-3, 2.0 / 170e12, 4.0 / 1.2e12, 3e-3)
+    }
+
+    #[test]
+    fn prefill_scales_inversely_with_tp() {
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let t1 = prefill_latency_secs(&coef(), &m, &b, 1);
+        let t4 = prefill_latency_secs(&coef(), &m, &b, 4);
+        assert!(t4 < t1 / 3.0 && t4 > t1 / 4.0 - 1e-6);
+    }
+
+    #[test]
+    fn decode_scales_with_total_gpus() {
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let t_2x2 = decode_latency_secs(&coef(), &m, &b, 2, 2);
+        let t_4x1 = decode_latency_secs(&coef(), &m, &b, 4, 1);
+        // Same GPU count: identical variable terms; only C6 handling would
+        // differ, which we keep constant here.
+        assert!((t_2x2 - t_4x1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_floor_latency() {
+        let m = ModelConfig::tiny_test();
+        let b = BatchStats::uniform(1, 1, 1);
+        let c = coef();
+        assert!(prefill_latency_secs(&c, &m, &b, 64) >= c.c3);
+        assert!(decode_latency_secs(&c, &m, &b, 64, 8) >= c.c6);
+    }
+
+    #[test]
+    fn features_monotone_in_load() {
+        let m = ModelConfig::opt_66b();
+        let small = BatchStats::uniform(1, 128, 16);
+        let big = BatchStats::uniform(8, 1024, 64);
+        let fs = prefill_features(&m, &small, 4, 128.0);
+        let fb = prefill_features(&m, &big, 4, 128.0);
+        assert!(fb[0] > fs[0] && fb[1] > fs[1]);
+        let ds = decode_features(&m, &small, 4, 1);
+        let db = decode_features(&m, &big, 4, 1);
+        assert_eq!(ds[0], db[0]); // GEMM term independent of batch
+        assert!(db[1] > ds[1]); // KV term grows with context
+    }
+}

@@ -1,0 +1,156 @@
+//! Small-system linear least squares (normal equations).
+//!
+//! The paper fits `C1…C6` by "profiling and interpolation"; we solve the
+//! same regression with dense normal equations and Gaussian elimination
+//! with partial pivoting — ample for ≤ 6 coefficients and a few hundred
+//! profile points.
+
+/// Solve `min ‖X·β − y‖²` for β, where `rows[i]` is the i-th feature row.
+///
+/// Returns `None` when the normal matrix is singular (collinear features
+/// or too few rows).
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = rows.len();
+    assert_eq!(n, y.len(), "row/target count mismatch");
+    if n == 0 {
+        return None;
+    }
+    let k = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+    // Normal equations: (XᵀX) β = Xᵀ y.
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (r, &yy) in rows.iter().zip(y) {
+        for i in 0..k {
+            b[i] += r[i] * yy;
+            for j in 0..k {
+                a[i][j] += r[i] * r[j];
+            }
+        }
+    }
+    solve(&mut a, &mut b)
+}
+
+/// In-place Gaussian elimination with partial pivoting; returns the
+/// solution of `a·x = b`, or `None` if singular.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below. Split so the pivot row can be borrowed while
+        // mutating the rows beneath it.
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (off, row_vals) in rest.iter_mut().enumerate() {
+            let row = col + 1 + off;
+            let f = row_vals[col] / pivot_row[col];
+            if f == 0.0 {
+                continue;
+            }
+            for (rv, pv) in row_vals[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rv -= f * pv;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for c in (col + 1)..n {
+            s -= a[col][c] * x[c];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Coefficient of determination R² of predictions vs targets.
+pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len());
+    let n = targets.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = targets.iter().sum::<f64>() / n;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (t - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery() {
+        // y = 2 x0 + 3 x1 + 5
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0, 1.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1] + 5.0).collect();
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+        assert!((beta[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        // Two identical columns.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(least_squares(&rows, &y).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        // Deterministic pseudo-noise.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 0.5 * r[0] + 10.0 + ((i * 2654435761) % 100) as f64 / 1000.0)
+            .collect();
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 0.5).abs() < 0.01);
+        assert!((beta[1] - 10.0).abs() < 0.2);
+        let preds: Vec<f64> = rows.iter().map(|r| beta[0] * r[0] + beta[1]).collect();
+        assert!(r_squared(&preds, &y) > 0.999);
+    }
+
+    #[test]
+    fn r_squared_edges() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert!(r_squared(&[0.0, 0.0], &[1.0, 2.0]) < 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(least_squares(&[], &[]).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Roofline GPU execution model — the "hardware" that gets profiled.
+//!
+//! The paper fits its latency equations to profiles of real A100/V100/L40
+//! GPUs. We substitute a roofline model (DESIGN.md "Substitutions"): a
+//! kernel's time is the max of its compute time at a fraction of peak
+//! FLOPs and its memory time at a fraction of peak HBM bandwidth, plus a
+//! fixed per-kernel launch overhead. Relative compute/communication
+//! proportions — the quantity Fig. 1 and the planner depend on — follow
+//! published spec sheets.
+
+use crate::config::{BatchStats, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// A roofline GPU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Name ("A100-40G", ...).
+    pub name: String,
+    /// Peak dense FP16 FLOP/s.
+    pub peak_flops: f64,
+    /// Peak HBM bandwidth, bytes/s.
+    pub peak_hbm: f64,
+    /// Achievable fraction of peak FLOPs for large GEMMs.
+    pub compute_efficiency: f64,
+    /// Achievable fraction of peak bandwidth.
+    pub memory_efficiency: f64,
+    /// Fixed overhead per kernel launch, seconds.
+    pub kernel_overhead_s: f64,
+    /// Fixed per-iteration framework overhead (Python runtime, batching
+    /// bookkeeping — the paper's `C3`/`C6` contributors), seconds.
+    pub framework_overhead_s: f64,
+}
+
+impl GpuModel {
+    /// A100 (SXM, 40/80 GB): 312 TFLOPS FP16, 1.55 TB/s.
+    pub fn a100() -> Self {
+        GpuModel {
+            name: "A100".into(),
+            peak_flops: 312e12,
+            peak_hbm: 1555e9,
+            compute_efficiency: 0.55,
+            memory_efficiency: 0.80,
+            kernel_overhead_s: 4e-6,
+            framework_overhead_s: 2e-3,
+        }
+    }
+
+    /// V100: 125 TFLOPS FP16 tensor, 900 GB/s.
+    pub fn v100() -> Self {
+        GpuModel {
+            name: "V100".into(),
+            peak_flops: 125e12,
+            peak_hbm: 900e9,
+            compute_efficiency: 0.50,
+            memory_efficiency: 0.75,
+            kernel_overhead_s: 5e-6,
+            framework_overhead_s: 2e-3,
+        }
+    }
+
+    /// L40: 181 TFLOPS FP16, 864 GB/s GDDR6.
+    pub fn l40() -> Self {
+        GpuModel {
+            name: "L40".into(),
+            peak_flops: 181e12,
+            peak_hbm: 864e9,
+            compute_efficiency: 0.50,
+            memory_efficiency: 0.75,
+            kernel_overhead_s: 4e-6,
+            framework_overhead_s: 2e-3,
+        }
+    }
+
+    /// Effective compute throughput (FLOP/s).
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.compute_efficiency
+    }
+
+    /// Effective memory bandwidth (bytes/s).
+    pub fn effective_hbm(&self) -> f64 {
+        self.peak_hbm * self.memory_efficiency
+    }
+
+    /// Roofline time for one kernel: `max(compute, memory) + overhead`.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        let tc = flops / self.effective_flops();
+        let tm = bytes / self.effective_hbm();
+        tc.max(tm) + self.kernel_overhead_s
+    }
+
+    /// "Measured" prefill compute latency for `batch` on this GPU with
+    /// tensor parallelism `p_tens` (seconds, excluding communication).
+    ///
+    /// Work per GPU is `1/p_tens` of the model's prefill FLOPs; weights
+    /// are streamed once from HBM (`R/p_tens` bytes) and activations
+    /// roughly twice. Each layer launches ~6 fused kernels.
+    pub fn prefill_compute(&self, model: &ModelConfig, batch: &BatchStats, p_tens: u32) -> f64 {
+        let p = p_tens.max(1) as f64;
+        let flops = model.prefill_flops(batch.k_in, batch.k_in2) / p;
+        let weight_bytes = model.param_bytes() as f64 / p;
+        let act_bytes =
+            2.0 * batch.k_in as f64 * model.hidden as f64 * model.layers as f64 * 2.0 / p;
+        let kernels = 6.0 * model.layers as f64;
+        self.kernel_time(flops, weight_bytes + act_bytes)
+            + (kernels - 1.0) * self.kernel_overhead_s
+            + self.framework_overhead_s
+    }
+
+    /// "Measured" per-token decode compute latency for `batch` with
+    /// `p_tens × p_pipe` GPUs (seconds; decode is memory-bound — every
+    /// output token re-reads the weight shard).
+    pub fn decode_compute(
+        &self,
+        model: &ModelConfig,
+        batch: &BatchStats,
+        p_tens: u32,
+        p_pipe: u32,
+    ) -> f64 {
+        let p = (p_tens.max(1) * p_pipe.max(1)) as f64;
+        let avg_ctx = if batch.q > 0 {
+            batch.k_in as f64 / batch.q as f64
+        } else {
+            0.0
+        };
+        let flops = batch.q as f64 * model.decode_flops(avg_ctx as u64) / p;
+        // Weights stream once per iteration regardless of batch size; the
+        // KV cache of all live sequences streams too.
+        let weight_bytes = model.param_bytes() as f64 / p;
+        let kv_bytes = batch.k_in as f64 * model.kv_bytes_per_token() as f64 / p;
+        let kernels = 6.0 * model.layers as f64 / p_pipe.max(1) as f64;
+        self.kernel_time(flops, weight_bytes + kv_bytes)
+            + (kernels - 1.0) * self.kernel_overhead_s
+            + self.framework_overhead_s / p_pipe.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let g = GpuModel::a100();
+        // Pure compute kernel.
+        let t1 = g.kernel_time(1e12, 0.0);
+        assert!((t1 - (1e12 / g.effective_flops() + g.kernel_overhead_s)).abs() < 1e-12);
+        // Pure memory kernel.
+        let t2 = g.kernel_time(0.0, 1e9);
+        assert!((t2 - (1e9 / g.effective_hbm() + g.kernel_overhead_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_parallelism_shrinks_prefill() {
+        let g = GpuModel::a100();
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let t1 = g.prefill_compute(&m, &b, 1);
+        let t4 = g.prefill_compute(&m, &b, 4);
+        assert!(t4 < t1, "TP should reduce prefill time");
+        // Sublinear speedup because of fixed overheads.
+        assert!(t4 > t1 / 4.0);
+    }
+
+    #[test]
+    fn prefill_magnitude_sane_for_a100() {
+        // OPT-66B, batch 8 x 1024 tokens, TP=4: hundreds of ms on A100s
+        // (the paper's Fig. 1 regime is ~1-10s for LLaMA-70B on 4 GPUs).
+        let g = GpuModel::a100();
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let t = g.prefill_compute(&m, &b, 4);
+        assert!(t > 0.1 && t < 10.0, "prefill = {t}s");
+    }
+
+    #[test]
+    fn decode_is_memory_bound_and_fast() {
+        let g = GpuModel::a100();
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let t = g.decode_compute(&m, &b, 4, 1);
+        // Per-token decode: tens of ms at most on 4 GPUs.
+        assert!(t > 1e-3 && t < 0.15, "decode = {t}s");
+        // More GPUs -> faster.
+        assert!(g.decode_compute(&m, &b, 8, 1) < t);
+    }
+
+    #[test]
+    fn weaker_gpus_are_slower() {
+        let m = ModelConfig::opt_66b();
+        let b = BatchStats::uniform(8, 1024, 64);
+        let a100 = GpuModel::a100().prefill_compute(&m, &b, 4);
+        let v100 = GpuModel::v100().prefill_compute(&m, &b, 4);
+        let l40 = GpuModel::l40().prefill_compute(&m, &b, 4);
+        assert!(v100 > a100);
+        assert!(l40 > a100);
+    }
+}

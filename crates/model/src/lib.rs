@@ -1,0 +1,34 @@
+//! # hs-model — LLM and GPU cost models
+//!
+//! The offline planner needs analytical latency and memory models to
+//! search the parallelism space without running a single kernel. The paper
+//! (§III-C2) models prefill and decode compute latency with the linear
+//! forms of Eqs. 12–13 whose coefficients `C1…C6` are obtained "using a
+//! profiling and interpolation approach". This crate provides the whole
+//! chain:
+//!
+//! * [`config`] — transformer shapes (OPT-13B/66B/175B, LLaMA-3-70B) and
+//!   parameter/KV-cache accounting (Table I's `L, h, A, m, R`).
+//! * [`gpu`] — a roofline execution model for the synthetic GPU used in
+//!   place of real hardware: per-phase FLOPs and HBM traffic against peak
+//!   compute/bandwidth plus kernel-launch overhead. This is the
+//!   "profiled" ground truth.
+//! * [`compute`] — Eqs. 12–13 exactly as written, parameterized by fitted
+//!   coefficients.
+//! * [`profile`] — the fitting pipeline: sweep batch/length grids on the
+//!   roofline model, then least-squares `C1…C6` ([`fit`]).
+//! * [`memory`] — GPU memory feasibility: weight shards, KV-cache bytes
+//!   per token, activation scratch (drives Algorithm 1's memory filter).
+
+pub mod compute;
+pub mod config;
+pub mod fit;
+pub mod gpu;
+pub mod memory;
+pub mod profile;
+
+pub use compute::{CostCoefficients, decode_latency_secs, prefill_latency_secs};
+pub use config::{BatchStats, ModelConfig, Precision};
+pub use gpu::GpuModel;
+pub use memory::MemoryModel;
+pub use profile::{fit_decode_coefficients, fit_prefill_coefficients, FittedModel};

@@ -1,0 +1,278 @@
+//! Weighted max-min fair rate allocation (progressive filling).
+//!
+//! Given a set of flows, each crossing a set of links with fixed
+//! capacities, the unique max-min fair allocation is computed by the
+//! classic water-filling algorithm: repeatedly find the most-contended
+//! link, give every unfrozen flow through it an equal (weight-proportional)
+//! share of the link's remaining capacity, freeze those flows, and deduct
+//! their rates from every link they cross.
+//!
+//! The allocation is *unique*, so the result is independent of iteration
+//! order; ties in bottleneck selection are broken by link index purely for
+//! determinism of intermediate state.
+
+/// A flow description for rate computation: the links it crosses (as dense
+/// indices) and its weight (relative share; 1.0 for ordinary flows).
+#[derive(Clone, Debug)]
+pub struct FlowDemand<'a> {
+    /// Dense link indices this flow traverses (deduplicated by caller if
+    /// the path revisits a link; paths from `hs-topology` are loopless).
+    pub links: &'a [usize],
+    /// Relative weight; must be > 0.
+    pub weight: f64,
+}
+
+/// Compute weighted max-min fair rates (bits/s) for `flows` over links with
+/// the given `capacities` (bits/s).
+///
+/// Returns one rate per flow, in input order. Flows with empty paths get
+/// `f64::INFINITY` (they are not constrained by the network — the caller
+/// treats them as instantaneous local copies).
+pub fn compute_rates(capacities: &[f64], flows: &[FlowDemand<'_>]) -> Vec<f64> {
+    let n_links = capacities.len();
+    let n_flows = flows.len();
+    let mut rates = vec![0.0f64; n_flows];
+    if n_flows == 0 {
+        return rates;
+    }
+
+    // Per-link: remaining capacity and total unfrozen weight.
+    let mut rem_cap = capacities.to_vec();
+    let mut link_weight = vec![0.0f64; n_links];
+    // Which flows cross each link (indices into `flows`).
+    let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); n_links];
+    let mut frozen = vec![false; n_flows];
+    let mut n_unfrozen = 0usize;
+
+    for (fi, f) in flows.iter().enumerate() {
+        debug_assert!(f.weight > 0.0, "flow weight must be positive");
+        if f.links.is_empty() {
+            rates[fi] = f64::INFINITY;
+            frozen[fi] = true;
+            continue;
+        }
+        n_unfrozen += 1;
+        for &l in f.links {
+            link_weight[l] += f.weight;
+            link_flows[l].push(fi as u32);
+        }
+    }
+
+    while n_unfrozen > 0 {
+        // Find the bottleneck link: minimum per-weight fair share among
+        // links that still carry unfrozen flows.
+        let mut best_link = usize::MAX;
+        let mut best_share = f64::INFINITY;
+        for l in 0..n_links {
+            if link_weight[l] > 0.0 {
+                let share = (rem_cap[l].max(0.0)) / link_weight[l];
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+        }
+        if best_link == usize::MAX {
+            // Shouldn't happen: unfrozen flows always have links with
+            // positive weight. Guard against float pathology anyway.
+            break;
+        }
+        // Freeze every unfrozen flow crossing the bottleneck at
+        // weight * share, and deduct from all links it crosses.
+        // Drain this link's flow list; frozen entries elsewhere are skipped
+        // lazily via the `frozen` bitmap.
+        let flows_here = std::mem::take(&mut link_flows[best_link]);
+        for fi in flows_here {
+            let fi = fi as usize;
+            if frozen[fi] {
+                continue;
+            }
+            let f = &flows[fi];
+            let r = f.weight * best_share;
+            rates[fi] = r;
+            frozen[fi] = true;
+            n_unfrozen -= 1;
+            for &l in f.links {
+                rem_cap[l] -= r;
+                link_weight[l] -= f.weight;
+                if link_weight[l] < 1e-12 {
+                    link_weight[l] = 0.0;
+                }
+            }
+        }
+        link_weight[best_link] = 0.0;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands<'a>(paths: &'a [Vec<usize>]) -> Vec<FlowDemand<'a>> {
+        paths
+            .iter()
+            .map(|p| FlowDemand {
+                links: p,
+                weight: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let paths = vec![vec![0]];
+        let r = compute_rates(&[100.0], &demands(&paths));
+        assert_eq!(r, vec![100.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let paths = vec![vec![0], vec![0], vec![0], vec![0]];
+        let r = compute_rates(&[100.0], &demands(&paths));
+        for &x in &r {
+            assert!((x - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_parking_lot() {
+        // Links: 0 and 1, both capacity 1. Flow A crosses both, B crosses
+        // 0 only, C crosses 1 only. Max-min fair: A=0.5, B=0.5, C=0.5.
+        let paths = vec![vec![0, 1], vec![0], vec![1]];
+        let r = compute_rates(&[1.0, 1.0], &demands(&paths));
+        assert!((r[0] - 0.5).abs() < 1e-9);
+        assert!((r[1] - 0.5).abs() < 1e-9);
+        assert!((r[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_capacities_release_bandwidth() {
+        // Link 0 cap 1 shared by A,B; link 1 cap 10 carries B,C. B is
+        // bottlenecked at 0.5 on link 0, so C gets 9.5 on link 1.
+        let paths = vec![vec![0], vec![0, 1], vec![1]];
+        let r = compute_rates(&[1.0, 10.0], &demands(&paths));
+        assert!((r[0] - 0.5).abs() < 1e-9);
+        assert!((r[1] - 0.5).abs() < 1e-9);
+        assert!((r[2] - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        let paths = vec![vec![0], vec![0]];
+        let flows = vec![
+            FlowDemand {
+                links: &paths[0],
+                weight: 3.0,
+            },
+            FlowDemand {
+                links: &paths[1],
+                weight: 1.0,
+            },
+        ];
+        let r = compute_rates(&[100.0], &flows);
+        assert!((r[0] - 75.0).abs() < 1e-9);
+        assert!((r[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_unconstrained() {
+        let paths = vec![vec![], vec![0]];
+        let r = compute_rates(&[100.0], &demands(&paths));
+        assert!(r[0].is_infinite());
+        assert_eq!(r[1], 100.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        let r = compute_rates(&[100.0], &[]);
+        assert!(r.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_instance() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+        (2usize..8).prop_flat_map(|n_links| {
+            let caps = proptest::collection::vec(1.0f64..1000.0, n_links..=n_links);
+            let paths = proptest::collection::vec(
+                proptest::collection::hash_set(0..n_links, 1..=n_links.min(4))
+                    .prop_map(|s| {
+                        let mut v: Vec<usize> = s.into_iter().collect();
+                        v.sort_unstable();
+                        v
+                    }),
+                1..12,
+            );
+            (caps, paths)
+        })
+    }
+
+    proptest! {
+        /// No link is oversubscribed and every flow is bottlenecked
+        /// somewhere (the defining property of max-min fairness: a flow's
+        /// rate can't be raised without lowering an equal-or-smaller one).
+        #[test]
+        fn feasible_and_maxmin((caps, paths) in arb_instance()) {
+            let flows: Vec<FlowDemand<'_>> = paths
+                .iter()
+                .map(|p| FlowDemand { links: p, weight: 1.0 })
+                .collect();
+            let rates = compute_rates(&caps, &flows);
+            // Feasibility.
+            for (l, &cap) in caps.iter().enumerate() {
+                let used: f64 = paths
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(p, _)| p.contains(&l))
+                    .map(|(_, &r)| r)
+                    .sum();
+                prop_assert!(used <= cap * (1.0 + 1e-9), "link {l} oversubscribed: {used} > {cap}");
+            }
+            // Bottleneck property: each flow crosses a saturated link on
+            // which it has a maximal rate among that link's flows.
+            for (fi, p) in paths.iter().enumerate() {
+                let mut bottlenecked = false;
+                for &l in p {
+                    let used: f64 = paths
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(q, _)| q.contains(&l))
+                        .map(|(_, &r)| r)
+                        .sum();
+                    let max_on_link = paths
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(q, _)| q.contains(&l))
+                        .map(|(_, &r)| r)
+                        .fold(0.0f64, f64::max);
+                    if used >= caps[l] * (1.0 - 1e-6) && rates[fi] >= max_on_link - 1e-6 {
+                        bottlenecked = true;
+                        break;
+                    }
+                }
+                prop_assert!(bottlenecked, "flow {fi} has no bottleneck link");
+            }
+        }
+
+        /// The allocation is invariant under flow permutation (uniqueness).
+        #[test]
+        fn order_independent((caps, paths) in arb_instance()) {
+            let flows: Vec<FlowDemand<'_>> = paths
+                .iter()
+                .map(|p| FlowDemand { links: p, weight: 1.0 })
+                .collect();
+            let base = compute_rates(&caps, &flows);
+            let mut rev = flows.clone();
+            rev.reverse();
+            let mut rates_rev = compute_rates(&caps, &rev);
+            rates_rev.reverse();
+            for (a, b) in base.iter().zip(&rates_rev) {
+                prop_assert!((a - b).abs() < 1e-6, "order-dependent rates: {a} vs {b}");
+            }
+        }
+    }
+}

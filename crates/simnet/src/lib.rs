@@ -1,0 +1,28 @@
+//! # hs-simnet — flow-level network simulation
+//!
+//! The paper's phenomena of interest — congestion collapse of in-network
+//! aggregation under bursty traffic (§I, §II-C), NVLink offloading, and
+//! load balancing across heterogeneous links — are all *flow-level*
+//! effects: they depend on how concurrent transfers share link bandwidth,
+//! not on per-packet behaviour. This crate therefore simulates the fabric
+//! at flow granularity:
+//!
+//! * every transfer is a [`Flow`] over a fixed link path;
+//! * link bandwidth is shared **max-min fairly** among the flows crossing
+//!   it (the standard fluid approximation of per-flow fair queueing /
+//!   DCTCP-like congestion control), recomputed whenever the flow set
+//!   changes ([`fairshare`]);
+//! * the simulator exposes a *pull* interface — [`SimNet::next_event_time`]
+//!   / [`SimNet::advance_to`] — so the cluster simulator can interleave it
+//!   with compute events;
+//! * per-link byte counters and utilization estimates ([`monitor`]) play
+//!   the role of the switch hardware counters and DCGM NVLink counters the
+//!   paper's agents poll (§IV).
+
+pub mod fairshare;
+pub mod monitor;
+pub mod net;
+
+pub use fairshare::compute_rates;
+pub use monitor::LinkMonitor;
+pub use net::{DirLink, Flow, FlowId, SimNet};

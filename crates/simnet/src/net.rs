@@ -1,0 +1,502 @@
+//! The flow-level network simulator.
+//!
+//! [`SimNet`] tracks a set of active [`Flow`]s, allocates link bandwidth
+//! among them max-min fairly, and advances flow progress in lock-step with
+//! an external clock. It is an *event source*: a parent simulation asks
+//! [`SimNet::next_event_time`] when the earliest flow will finish, advances
+//! its own clock, then calls [`SimNet::advance_to`] to collect completions.
+//!
+//! A flow's completion time is `max(serialization finish, start +
+//! path propagation delay)`; serialization progress accrues at the flow's
+//! current fair-share rate, which changes whenever flows start or finish.
+
+use crate::fairshare::{compute_rates, FlowDemand};
+use hs_des::{SimSpan, SimTime};
+use hs_topology::{Graph, LinkId};
+use std::collections::BTreeMap;
+
+/// One directed hop: the link and whether it is traversed `a -> b`
+/// (links are full duplex; each direction is its own capacity pool).
+pub type DirLink = (LinkId, bool);
+
+/// Dense slot index of a directed link.
+#[inline]
+fn slot(d: DirLink) -> usize {
+    d.0.idx() * 2 + d.1 as usize
+}
+
+/// Identifier of an active (or completed) flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// An active transfer.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Directed hops the flow traverses (loopless).
+    pub path: Vec<DirLink>,
+    /// Bytes still to serialize.
+    pub remaining_bytes: f64,
+    /// Total size at start (for reporting).
+    pub size_bytes: u64,
+    /// Current allocated rate, bits/s (∞ for empty paths).
+    pub rate_bps: f64,
+    /// Relative fair-share weight.
+    pub weight: f64,
+    /// Start time.
+    pub started: SimTime,
+    /// Total propagation delay along the path.
+    pub prop: SimSpan,
+    /// Completion cannot occur before this; once the flow drains, holds
+    /// drain time + propagation (the last bit's arrival).
+    pub earliest_finish: SimTime,
+    /// Caller-supplied tag for demultiplexing completions.
+    pub tag: u64,
+}
+
+/// Flow-level network state over a fixed topology.
+pub struct SimNet {
+    /// Per-link capacity (each *direction* gets the full capacity:
+    /// full-duplex links).
+    capacities: Vec<f64>,
+    link_latency_ns: Vec<u64>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    clock: SimTime,
+    /// Cumulative bytes delivered per directed link (the "hardware
+    /// counters"; index = link*2 + direction).
+    cum_bytes: Vec<f64>,
+    /// Allocated rate per directed link (sum of flow rates), bits/s.
+    link_rate: Vec<f64>,
+    rates_dirty: bool,
+}
+
+impl SimNet {
+    /// Create a simulator over the links of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let capacities = graph.capacities();
+        let link_latency_ns = graph.links().map(|(_, l)| l.latency_ns).collect();
+        let n = capacities.len();
+        SimNet {
+            capacities,
+            link_latency_ns,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+            cum_bytes: vec![0.0; 2 * n],
+            link_rate: vec![0.0; 2 * n],
+            rates_dirty: false,
+        }
+    }
+
+    /// Current internal clock (last `advance_to` or flow start).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a unit-weight flow of `bytes` over the directed `path` at
+    /// time `now`.
+    pub fn start_flow(&mut self, now: SimTime, path: &[DirLink], bytes: u64, tag: u64) -> FlowId {
+        self.start_weighted_flow(now, path, bytes, 1.0, tag)
+    }
+
+    /// Start a flow with an explicit fair-share weight (used to model a
+    /// collective step that opens several parallel streams).
+    pub fn start_weighted_flow(
+        &mut self,
+        now: SimTime,
+        path: &[DirLink],
+        bytes: u64,
+        weight: f64,
+        tag: u64,
+    ) -> FlowId {
+        assert!(weight > 0.0, "flow weight must be positive");
+        self.progress_to(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let prop_ns: u64 = path.iter().map(|&(l, _)| self.link_latency_ns[l.idx()]).sum();
+        let prop = SimSpan::from_nanos(prop_ns);
+        self.flows.insert(
+            id,
+            Flow {
+                path: path.to_vec(),
+                remaining_bytes: bytes as f64,
+                size_bytes: bytes,
+                rate_bps: 0.0,
+                weight,
+                started: now,
+                prop,
+                earliest_finish: now + prop,
+                tag,
+            },
+        );
+        self.rates_dirty = true;
+        id
+    }
+
+    /// Remove a flow before completion (e.g. a cancelled transfer).
+    /// Returns the flow if it was active.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<Flow> {
+        self.progress_to(now);
+        let f = self.flows.remove(&id);
+        if f.is_some() {
+            self.rates_dirty = true;
+        }
+        f
+    }
+
+    /// Inspect an active flow.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// The time of the earliest flow completion, or `None` when idle.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.recompute_rates_if_dirty();
+        let mut best: Option<SimTime> = None;
+        for f in self.flows.values() {
+            let t = self.finish_estimate(f);
+            best = Some(match best {
+                Some(b) if b <= t => b,
+                _ => t,
+            });
+        }
+        best
+    }
+
+    /// Advance the clock to `now`, accruing flow progress, and return the
+    /// flows that completed (in completion-then-id order).
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<(FlowId, Flow)> {
+        assert!(now >= self.clock, "SimNet clock must be monotone");
+        let mut done = Vec::new();
+        // Completions change rates, which changes later completions within
+        // the same window — loop until no flow finishes at or before `now`.
+        loop {
+            self.recompute_rates_if_dirty();
+            // Earliest finish estimate in the window.
+            let mut next: Option<(SimTime, FlowId)> = None;
+            for (&id, f) in &self.flows {
+                let t = self.finish_estimate(f);
+                if t <= now {
+                    match next {
+                        Some((bt, _)) if bt <= t => {}
+                        _ => next = Some((t, id)),
+                    }
+                }
+            }
+            let Some((t, id)) = next else {
+                self.progress_to(now);
+                break;
+            };
+            self.progress_to(t);
+            let mut f = self.flows.remove(&id).expect("flow vanished");
+            f.remaining_bytes = 0.0;
+            self.rates_dirty = true;
+            done.push((id, f));
+        }
+        done
+    }
+
+    /// Fair-share utilization of a link in `[0, 1]`: the busier
+    /// direction's allocated rate over capacity. This is the
+    /// instantaneous `B(e)`-complement the online scheduler's cost
+    /// tables consume.
+    pub fn link_utilization(&mut self, l: LinkId) -> f64 {
+        self.recompute_rates_if_dirty();
+        let fwd = self.link_rate[l.idx() * 2];
+        let rev = self.link_rate[l.idx() * 2 + 1];
+        (fwd.max(rev) / self.capacities[l.idx()]).clamp(0.0, 1.0)
+    }
+
+    /// Snapshot of all link utilizations (busier direction per link).
+    pub fn utilization_snapshot(&mut self) -> Vec<f64> {
+        self.recompute_rates_if_dirty();
+        (0..self.capacities.len())
+            .map(|i| {
+                (self.link_rate[i * 2].max(self.link_rate[i * 2 + 1]) / self.capacities[i])
+                    .clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Residual bandwidth `B(e) = C(e) - allocated` per link, bits/s
+    /// (busier direction) — the planner's Table I input.
+    pub fn residual_bandwidth(&mut self) -> Vec<f64> {
+        self.recompute_rates_if_dirty();
+        (0..self.capacities.len())
+            .map(|i| {
+                (self.capacities[i] - self.link_rate[i * 2].max(self.link_rate[i * 2 + 1]))
+                    .max(0.0)
+            })
+            .collect()
+    }
+
+    /// Cumulative bytes delivered over a link since simulation start,
+    /// both directions (monotone; models a switch hardware counter).
+    pub fn cumulative_bytes(&self, l: LinkId) -> f64 {
+        self.cum_bytes[l.idx() * 2] + self.cum_bytes[l.idx() * 2 + 1]
+    }
+
+    /// Cumulative bytes for one direction of a link.
+    pub fn cumulative_bytes_dir(&self, l: LinkId, forward: bool) -> f64 {
+        self.cum_bytes[l.idx() * 2 + forward as usize]
+    }
+
+    /// Link capacities (bits/s).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    fn finish_estimate(&self, f: &Flow) -> SimTime {
+        if f.remaining_bytes <= 0.0 || f.rate_bps.is_infinite() {
+            // Drained (or an instantaneous local copy): waiting only for
+            // the last bit's propagation.
+            return f.earliest_finish.max(self.clock);
+        }
+        if f.rate_bps == 0.0 {
+            return SimTime::MAX;
+        }
+        let secs = f.remaining_bytes * 8.0 / f.rate_bps;
+        let ser = self.clock + SimSpan::from_secs_f64(secs).saturating_add(SimSpan::from_nanos(1));
+        (ser + f.prop).max(f.earliest_finish)
+    }
+
+    /// Accrue progress for all flows up to `t` (no completions handled).
+    fn progress_to(&mut self, t: SimTime) {
+        if t <= self.clock {
+            return;
+        }
+        self.recompute_rates_if_dirty();
+        let dt = (t - self.clock).as_secs_f64();
+        for f in self.flows.values_mut() {
+            if f.rate_bps > 0.0 && f.rate_bps.is_finite() && f.remaining_bytes > 0.0 {
+                let bytes = f.rate_bps / 8.0 * dt;
+                let consumed = bytes.min(f.remaining_bytes);
+                // If the flow drains inside this window, record the last
+                // bit's arrival time (drain instant + propagation).
+                if consumed >= f.remaining_bytes {
+                    let drain_secs = f.remaining_bytes * 8.0 / f.rate_bps;
+                    let drained_at = self.clock + SimSpan::from_secs_f64(drain_secs);
+                    f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
+                }
+                f.remaining_bytes -= consumed;
+                if f.remaining_bytes < 1e-6 {
+                    f.remaining_bytes = 0.0;
+                }
+                for &d in &f.path {
+                    self.cum_bytes[slot(d)] += consumed;
+                }
+            } else if f.rate_bps.is_infinite() {
+                // Empty-path flow: delivered instantly, no link bytes.
+                f.remaining_bytes = 0.0;
+            }
+        }
+        self.clock = t;
+    }
+
+    fn recompute_rates_if_dirty(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        // Dense directed-slot paths for the fair-share solver.
+        let paths: Vec<Vec<usize>> = self
+            .flows
+            .values()
+            .map(|f| f.path.iter().map(|&d| slot(d)).collect())
+            .collect();
+        let demands: Vec<FlowDemand<'_>> = paths
+            .iter()
+            .zip(self.flows.values())
+            .map(|(p, f)| FlowDemand {
+                links: p,
+                weight: f.weight,
+            })
+            .collect();
+        // Directed capacity vector: full capacity per direction.
+        let mut dir_caps = Vec::with_capacity(self.capacities.len() * 2);
+        for &c in &self.capacities {
+            dir_caps.push(c);
+            dir_caps.push(c);
+        }
+        let rates = compute_rates(&dir_caps, &demands);
+        for r in self.link_rate.iter_mut() {
+            *r = 0.0;
+        }
+        for ((f, rate), path) in self.flows.values_mut().zip(&rates).zip(&paths) {
+            f.rate_bps = *rate;
+            if rate.is_finite() {
+                for &l in path {
+                    self.link_rate[l] += rate;
+                }
+            }
+        }
+        self.rates_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_topology::{
+        graph::{bandwidth, GpuSpec, GraphBuilder, LinkKind, ServerId},
+        NodeId,
+    };
+
+    /// Direct all hops "forward" (capacity is symmetric in these tests).
+    fn fwd(links: &[LinkId]) -> Vec<DirLink> {
+        links.iter().map(|&l| (l, true)).collect()
+    }
+
+    /// Two GPUs joined by one 100 G Ethernet link via a switch.
+    fn line() -> (Graph, Vec<NodeId>, Vec<LinkId>) {
+        let mut b = GraphBuilder::new();
+        let g0 = b.add_gpu(ServerId(0), 0, GpuSpec::a100_40g());
+        let g1 = b.add_gpu(ServerId(1), 0, GpuSpec::a100_40g());
+        let s = b.add_access_switch(true, "s");
+        let l0 = b.add_link(g0, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+        let l1 = b.add_link(g1, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+        (b.build(), vec![g0, g1, s], vec![l0, l1])
+    }
+
+    #[test]
+    fn lone_flow_runs_at_line_rate() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        // 1 MB over 100 Gbps, 2 hops of 1 us propagation: 80 us + 2 us.
+        let id = net.start_flow(SimTime::ZERO, &fwd(&links), 1_000_000, 7);
+        let t = net.next_event_time().unwrap();
+        let us = t.as_micros_f64();
+        assert!((us - 82.0).abs() < 0.5, "finish at {us} us");
+        let done = net.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, id);
+        assert_eq!(done[0].1.tag, 7);
+        assert_eq!(net.active_flow_count(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        // Both flows cross link l0 only (g0->switch), 1 MB each.
+        let a = net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 0);
+        let _b = net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 2_000_000, 1);
+        // Shared at 50 Gbps each. Flow a: 8e6 bits / 50e9 = 160 us.
+        let t1 = net.next_event_time().unwrap();
+        assert!((t1.as_micros_f64() - 161.0).abs() < 1.0, "{t1}");
+        let done = net.advance_to(t1);
+        assert_eq!(done[0].0, a);
+        // Flow b then has 1 MB left at full 100 Gbps: 80 us more.
+        let t2 = net.next_event_time().unwrap();
+        assert!(
+            (t2.as_micros_f64() - t1.as_micros_f64() - 80.0).abs() < 1.0,
+            "t2={t2} t1={t1}"
+        );
+    }
+
+    #[test]
+    fn advance_past_multiple_completions() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 0);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 2_000_000, 1);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 3_000_000, 2);
+        let done = net.advance_to(SimTime::from_millis(10));
+        assert_eq!(done.len(), 3);
+        // Completion order follows size here.
+        assert_eq!(done.iter().map(|(_, f)| f.tag).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Conservation: 6 MB crossed link 0.
+        assert!((net.cumulative_bytes(links[0]) - 6_000_000.0).abs() < 1.0);
+        assert_eq!(net.cumulative_bytes(links[1]), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_residual() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 100_000_000, 0);
+        assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
+        assert_eq!(net.link_utilization(links[1]), 0.0);
+        let res = net.residual_bandwidth();
+        assert!(res[links[0].idx()] < 1.0);
+        assert!((res[links[1].idx()] - bandwidth::ETH_100G).abs() < 1.0);
+    }
+
+    #[test]
+    fn cancel_restores_bandwidth() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        let a = net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 0);
+        let _b = net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 1);
+        let cancelled = net.cancel_flow(SimTime::from_micros(10), a).unwrap();
+        // 10 us at 50 Gbps = 62.5 kB transferred before cancellation.
+        assert!((cancelled.remaining_bytes - (1_000_000.0 - 62_500.0)).abs() < 100.0);
+        // Remaining flow now gets full rate.
+        assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
+        let t = net.next_event_time().unwrap();
+        // b transferred 62.5 kB too; 937.5 kB left at 100 Gbps = 75 us.
+        assert!((t.as_micros_f64() - 10.0 - 76.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn empty_path_completes_immediately() {
+        let (g, _, _) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::from_secs(1), &[], 1 << 30, 5);
+        let t = net.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        let done = net.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.tag, 5);
+    }
+
+    #[test]
+    fn zero_byte_flow_costs_only_propagation() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::ZERO, &fwd(&links), 0, 0);
+        let t = net.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_micros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn clock_must_be_monotone() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::from_secs(2), &fwd(&links), 10, 0);
+        net.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn weighted_flow_gets_larger_share() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        let heavy = net.start_weighted_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 3.0, 0);
+        let light = net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 1);
+        net.next_event_time();
+        let rh = net.flow(heavy).unwrap().rate_bps;
+        let rl = net.flow(light).unwrap().rate_bps;
+        assert!((rh / rl - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn byte_conservation_across_rate_changes() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 4_000_000, 0);
+        // A second flow arrives mid-transfer and leaves via completion.
+        net.start_flow(SimTime::from_micros(100), &fwd(&links[..1]), 1_000_000, 1);
+        net.advance_to(SimTime::from_millis(5));
+        assert_eq!(net.active_flow_count(), 0);
+        assert!(
+            (net.cumulative_bytes(links[0]) - 5_000_000.0).abs() < 10.0,
+            "delivered {}",
+            net.cumulative_bytes(links[0])
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The aggregation memory: a pool of fixed-size aggregator slots.
+//!
+//! "The aggregation memory space is organized as a pool of fixed-size
+//! aggregator slots across multiple switch pipelines" (§IV). Each slot
+//! holds a partially aggregated fixed-point vector, a contribution bitmap
+//! and counter. Switch SRAM is scarce — pool exhaustion is exactly the
+//! contention effect that makes homogeneous INA collapse under bursty
+//! multi-tenant traffic, so the pool size is a first-class parameter.
+
+use crate::fixpoint::saturating_add_assign;
+use serde::{Deserialize, Serialize};
+
+/// One aggregator slot.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// Partially aggregated fixed-point lanes.
+    pub values: Vec<i32>,
+    /// Bitmap of workers whose contribution has been folded in.
+    pub seen: u64,
+    /// Number of contributions received.
+    pub count: u32,
+    /// Number of contributions expected before the slot completes.
+    pub fanin: u32,
+    /// Whether the slot is currently allocated.
+    pub in_use: bool,
+}
+
+impl Slot {
+    fn new(lanes: usize) -> Self {
+        Slot {
+            values: vec![0; lanes],
+            seen: 0,
+            count: 0,
+            fanin: 0,
+            in_use: false,
+        }
+    }
+
+    /// Clear accumulated state and arm the slot for a new aggregation of
+    /// `fanin` contributors (used on allocation and on window advance).
+    pub fn reset(&mut self, fanin: u32) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+        self.seen = 0;
+        self.count = 0;
+        self.fanin = fanin;
+    }
+
+    /// Fold a worker's contribution in.
+    pub fn contribute(&mut self, worker_bit: u32, lanes: &[i32]) -> Contribution {
+        debug_assert!(self.in_use);
+        let bit = 1u64 << (worker_bit % 64);
+        if self.seen & bit != 0 {
+            return Contribution::Duplicate; // retransmission, dropped
+        }
+        self.seen |= bit;
+        self.count += 1;
+        saturating_add_assign(&mut self.values, lanes);
+        if self.count >= self.fanin {
+            Contribution::Complete
+        } else {
+            Contribution::Pending
+        }
+    }
+}
+
+/// Outcome of folding one worker's contribution into a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contribution {
+    /// Stored; more contributions expected.
+    Pending,
+    /// All expected contributions received — the slot holds the sum.
+    Complete,
+    /// Duplicate contribution (retransmission); dropped idempotently.
+    Duplicate,
+}
+
+/// Occupancy and contention statistics for the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotPoolStats {
+    /// Successful slot allocations.
+    pub allocs: u64,
+    /// Allocation attempts that failed because the pool was exhausted.
+    pub alloc_failures: u64,
+    /// Slots released back to the pool.
+    pub frees: u64,
+    /// High-water mark of simultaneously allocated slots.
+    pub peak_in_use: usize,
+}
+
+/// A pool of aggregator slots with O(1) alloc/free.
+pub struct SlotPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    in_use: usize,
+    lanes: usize,
+    stats: SlotPoolStats,
+}
+
+impl SlotPool {
+    /// Create a pool of `n_slots` slots of `lanes` 32-bit lanes each.
+    ///
+    /// SwitchML on Tofino-1 uses on the order of tens of thousands of
+    /// 64-lane (256 B) slots; the per-experiment configs pick sizes that
+    /// preserve the contention *ratio* at simulation scale.
+    pub fn new(n_slots: usize, lanes: usize) -> Self {
+        assert!(n_slots > 0 && lanes > 0);
+        SlotPool {
+            slots: (0..n_slots).map(|_| Slot::new(lanes)).collect(),
+            free: (0..n_slots as u32).rev().collect(),
+            in_use: 0,
+            lanes,
+            stats: SlotPoolStats::default(),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lanes per slot.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Slots currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocate a slot for an aggregation of `fanin` contributors.
+    /// Returns `None` when the pool is exhausted (recorded in stats).
+    pub fn alloc(&mut self, fanin: u32) -> Option<u32> {
+        match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                s.reset(fanin);
+                s.in_use = true;
+                self.in_use += 1;
+                self.stats.allocs += 1;
+                self.stats.peak_in_use = self.stats.peak_in_use.max(self.in_use);
+                Some(idx)
+            }
+            None => {
+                self.stats.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Release a slot back to the pool.
+    ///
+    /// # Panics
+    /// Panics if the slot is not allocated (double free — a control-plane
+    /// bug we want loud).
+    pub fn free(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        assert!(s.in_use, "double free of aggregator slot {idx}");
+        s.in_use = false;
+        self.in_use -= 1;
+        self.free.push(idx);
+        self.stats.frees += 1;
+    }
+
+    /// Access an allocated slot.
+    pub fn slot(&self, idx: u32) -> &Slot {
+        &self.slots[idx as usize]
+    }
+
+    /// Mutable access to an allocated slot.
+    pub fn slot_mut(&mut self, idx: u32) -> &mut Slot {
+        &mut self.slots[idx as usize]
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> SlotPoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = SlotPool::new(2, 4);
+        let a = p.alloc(3).unwrap();
+        let b = p.alloc(3).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.alloc(3), None);
+        assert_eq!(p.stats().alloc_failures, 1);
+        p.free(a);
+        assert_eq!(p.available(), 1);
+        let c = p.alloc(2).unwrap();
+        assert_eq!(c, a); // LIFO reuse
+        assert_eq!(p.stats().peak_in_use, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = SlotPool::new(1, 4);
+        let a = p.alloc(1).unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn contribute_counts_and_completes() {
+        let mut p = SlotPool::new(1, 2);
+        let idx = p.alloc(3).unwrap();
+        let s = p.slot_mut(idx);
+        assert_eq!(s.contribute(0, &[1, 10]), Contribution::Pending);
+        assert_eq!(s.contribute(1, &[2, 20]), Contribution::Pending);
+        // Duplicate from worker 1 is rejected and does not advance count.
+        assert_eq!(s.contribute(1, &[2, 20]), Contribution::Duplicate);
+        assert_eq!(s.contribute(2, &[3, 30]), Contribution::Complete);
+        assert_eq!(s.values, vec![6, 60]);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn slot_reuse_resets_state() {
+        let mut p = SlotPool::new(1, 2);
+        let idx = p.alloc(1).unwrap();
+        p.slot_mut(idx).contribute(0, &[7, 7]);
+        p.free(idx);
+        let idx2 = p.alloc(2).unwrap();
+        assert_eq!(idx, idx2);
+        let s = p.slot(idx2);
+        assert_eq!(s.values, vec![0, 0]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.fanin, 2);
+    }
+}

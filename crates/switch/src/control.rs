@@ -1,0 +1,225 @@
+//! The switch control plane, as seen by the central scheduler.
+//!
+//! "The central scheduler uniformly allocates and recycles aggregator
+//! slots. The switch control plane provides APIs that allow for high-speed
+//! updates of the aggregation table entries ... It periodically polls
+//! hardware counters from the data plane to obtain link utilization
+//! metrics" (§IV). [`SwitchControl`] is that API surface over one or more
+//! [`InaDataplane`]s (one per INA-capable switch in the fabric).
+
+use crate::dataplane::{AdmitError, DataplaneCounters, InaDataplane, JobConfig, JobId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an INA-capable switch (the topology `NodeId`'s raw index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// Counter snapshot for one switch.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SwitchCounters {
+    /// Dataplane counters at poll time.
+    pub dataplane: DataplaneCounters,
+    /// Free aggregator slots at poll time.
+    pub free_slots: usize,
+    /// Slots in use at poll time.
+    pub used_slots: usize,
+}
+
+/// Control plane over a fleet of INA dataplanes.
+pub struct SwitchControl {
+    switches: FxHashMap<SwitchId, InaDataplane>,
+    /// Where each admitted job lives.
+    placements: FxHashMap<JobId, SwitchId>,
+    next_job: u32,
+}
+
+impl SwitchControl {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        SwitchControl {
+            switches: FxHashMap::default(),
+            placements: FxHashMap::default(),
+            next_job: 0,
+        }
+    }
+
+    /// Register an INA-capable switch with a slot pool of `n_slots` slots
+    /// of `lanes` lanes.
+    pub fn register_switch(&mut self, id: SwitchId, n_slots: usize, lanes: usize) {
+        self.switches.insert(id, InaDataplane::new(n_slots, lanes));
+    }
+
+    /// Whether `id` is registered.
+    pub fn has_switch(&self, id: SwitchId) -> bool {
+        self.switches.contains_key(&id)
+    }
+
+    /// Allocate a fresh job id (the scheduler's "uniform allocation").
+    pub fn new_job_id(&mut self) -> JobId {
+        let j = JobId(self.next_job);
+        self.next_job += 1;
+        j
+    }
+
+    /// Admit `job` on switch `sw`. Errors surface admission failures
+    /// (pool exhaustion for synchronous jobs).
+    pub fn admit(&mut self, sw: SwitchId, job: JobId, cfg: JobConfig) -> Result<(), AdmitError> {
+        let dp = self
+            .switches
+            .get_mut(&sw)
+            .unwrap_or_else(|| panic!("unknown switch {sw:?}"));
+        dp.admit_job(job, cfg)?;
+        self.placements.insert(job, sw);
+        Ok(())
+    }
+
+    /// Release `job` wherever it is placed (idempotent).
+    pub fn release(&mut self, job: JobId) {
+        if let Some(sw) = self.placements.remove(&job) {
+            if let Some(dp) = self.switches.get_mut(&sw) {
+                dp.release_job(job);
+            }
+        }
+    }
+
+    /// The switch hosting `job`, if admitted.
+    pub fn placement(&self, job: JobId) -> Option<SwitchId> {
+        self.placements.get(&job).copied()
+    }
+
+    /// Mutable dataplane access (the packet path).
+    pub fn dataplane_mut(&mut self, sw: SwitchId) -> Option<&mut InaDataplane> {
+        self.switches.get_mut(&sw)
+    }
+
+    /// Dataplane access.
+    pub fn dataplane(&self, sw: SwitchId) -> Option<&InaDataplane> {
+        self.switches.get(&sw)
+    }
+
+    /// Poll one switch's hardware counters.
+    pub fn poll(&self, sw: SwitchId) -> Option<SwitchCounters> {
+        self.switches.get(&sw).map(|dp| SwitchCounters {
+            dataplane: dp.counters(),
+            free_slots: dp.pool().available(),
+            used_slots: dp.pool().in_use(),
+        })
+    }
+
+    /// Poll every switch, sorted by id (deterministic report order).
+    pub fn poll_all(&self) -> Vec<(SwitchId, SwitchCounters)> {
+        let mut v: Vec<_> = self
+            .switches
+            .iter()
+            .map(|(&id, dp)| {
+                (
+                    id,
+                    SwitchCounters {
+                        dataplane: dp.counters(),
+                        free_slots: dp.pool().available(),
+                        used_slots: dp.pool().in_use(),
+                    },
+                )
+            })
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Fraction of packets that bypassed in-network aggregation fleet-wide
+    /// (an aggregate congestion indicator the online scheduler can use).
+    pub fn fleet_fallback_fraction(&self) -> f64 {
+        let (mut fb, mut total) = (0u64, 0u64);
+        for dp in self.switches.values() {
+            let c = dp.counters();
+            fb += c.fallbacks;
+            total += c.packets_in;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fb as f64 / total as f64
+        }
+    }
+}
+
+impl Default for SwitchControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataplane::{AggMode, InaPacket, WorkerId};
+    use crate::fixpoint::FixPoint;
+
+    fn cfg(fanin: u32, window: u32, mode: AggMode) -> JobConfig {
+        JobConfig {
+            fanin,
+            window,
+            fixpoint: FixPoint::default(),
+            mode,
+        }
+    }
+
+    #[test]
+    fn admit_place_release() {
+        let mut ctl = SwitchControl::new();
+        ctl.register_switch(SwitchId(0), 8, 4);
+        ctl.register_switch(SwitchId(1), 8, 4);
+        let j = ctl.new_job_id();
+        ctl.admit(SwitchId(1), j, cfg(2, 2, AggMode::SwitchMlSync)).unwrap();
+        assert_eq!(ctl.placement(j), Some(SwitchId(1)));
+        let counters = ctl.poll(SwitchId(1)).unwrap();
+        assert_eq!(counters.used_slots, 2);
+        ctl.release(j);
+        assert_eq!(ctl.poll(SwitchId(1)).unwrap().used_slots, 0);
+        assert_eq!(ctl.placement(j), None);
+        ctl.release(j); // idempotent
+    }
+
+    #[test]
+    fn poll_all_is_sorted() {
+        let mut ctl = SwitchControl::new();
+        ctl.register_switch(SwitchId(3), 4, 1);
+        ctl.register_switch(SwitchId(1), 4, 1);
+        ctl.register_switch(SwitchId(2), 4, 1);
+        let polled = ctl.poll_all();
+        let ids: Vec<u32> = polled.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fleet_fallback_fraction_tracks_congestion() {
+        let mut ctl = SwitchControl::new();
+        ctl.register_switch(SwitchId(0), 1, 1);
+        let j = ctl.new_job_id();
+        ctl.admit(SwitchId(0), j, cfg(2, 4, AggMode::AtpAsync)).unwrap();
+        let dp = ctl.dataplane_mut(SwitchId(0)).unwrap();
+        // First chunk takes the only slot; second falls back.
+        dp.process(&InaPacket {
+            job: j,
+            worker: WorkerId(0),
+            seq: 0,
+            values: vec![1.0],
+        });
+        dp.process(&InaPacket {
+            job: j,
+            worker: WorkerId(0),
+            seq: 1,
+            values: vec![1.0],
+        });
+        assert!((ctl.fleet_fallback_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown switch")]
+    fn admit_on_unknown_switch_panics() {
+        let mut ctl = SwitchControl::new();
+        let j = ctl.new_job_id();
+        let _ = ctl.admit(SwitchId(9), j, cfg(2, 1, AggMode::AtpAsync));
+    }
+}

@@ -1,0 +1,447 @@
+//! The INA dataplane: packet-level aggregation in two disciplines.
+//!
+//! The paper's evaluation compares two in-network aggregation designs
+//! integrated into DistServe (§V): **DS-SwitchML** — synchronous,
+//! lock-step streaming over a statically reserved slot window per job —
+//! and **DS-ATP** — asynchronous best-effort aggregation with dynamic slot
+//! allocation and graceful *fallback to end-host aggregation* when switch
+//! memory is exhausted. HeroServe's own INA mode uses the synchronous
+//! discipline but reserves slots through its planner.
+//!
+//! This module processes individual update packets against the slot pool
+//! and aggregation table so that the aggregation arithmetic (fixed point,
+//! saturation, duplicate suppression) is genuinely exercised; the cluster
+//! simulator uses the same state at job granularity.
+
+use crate::aggregator::{Contribution, SlotPool};
+use crate::fixpoint::FixPoint;
+use crate::table::{AggregationTable, TableKey};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Collective-group identifier (one tensor-parallel group's all-reduce
+/// stream).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// Worker identifier within a job (a GPU's rank).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// Aggregation discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AggMode {
+    /// SwitchML-style: a fixed window of slots per job, strict round
+    /// streaming, admission fails when the window cannot be reserved.
+    SwitchMlSync,
+    /// ATP-style: slots allocated per in-flight chunk on demand; on pool
+    /// exhaustion the packet is forwarded to an end-host fallback
+    /// aggregator instead of being aggregated in-network.
+    AtpAsync,
+}
+
+/// Per-job configuration installed by the control plane.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Number of workers contributing to each aggregation.
+    pub fanin: u32,
+    /// Slot window size (SwitchML) / max outstanding chunks hint (ATP).
+    pub window: u32,
+    /// Fixed-point codec for this job.
+    pub fixpoint: FixPoint,
+    /// Discipline.
+    pub mode: AggMode,
+}
+
+/// An INA update packet from a worker.
+#[derive(Clone, Debug)]
+pub struct InaPacket {
+    /// Destination job.
+    pub job: JobId,
+    /// Sending worker.
+    pub worker: WorkerId,
+    /// Chunk sequence number (monotone per worker).
+    pub seq: u32,
+    /// Float payload (encoded to fixed point at "the NIC").
+    pub values: Vec<f32>,
+}
+
+/// Result of processing one packet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DataplaneAction {
+    /// Contribution stored; aggregation still waiting for other workers.
+    Accepted,
+    /// Aggregation complete: multicast the result for `seq` to all
+    /// workers.
+    Complete {
+        /// Completed chunk sequence.
+        seq: u32,
+        /// Decoded aggregated values.
+        values: Vec<f32>,
+    },
+    /// Duplicate contribution (retransmission) dropped idempotently.
+    DroppedDuplicate,
+    /// No aggregation resources: forward to the end-host fallback path.
+    Fallback,
+}
+
+struct JobState {
+    cfg: JobConfig,
+    /// SwitchML: the round (seq) each window is currently serving.
+    round_of_window: Vec<u32>,
+    /// SwitchML: reserved slot per window.
+    window_slots: Vec<u32>,
+    /// ATP: live chunk → slot.
+    dynamic: FxHashMap<u32, u32>,
+}
+
+/// Hardware counters (per dataplane; the control plane polls these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataplaneCounters {
+    /// Update packets received.
+    pub packets_in: u64,
+    /// Completed aggregations (multicasts emitted).
+    pub aggregations: u64,
+    /// Packets forwarded to the end-host fallback.
+    pub fallbacks: u64,
+    /// Duplicate packets dropped.
+    pub duplicates: u64,
+    /// Payload bytes aggregated in-network.
+    pub bytes_aggregated: u64,
+}
+
+/// The switch's INA dataplane: slot pool + aggregation table + job state.
+pub struct InaDataplane {
+    pool: SlotPool,
+    table: AggregationTable,
+    jobs: FxHashMap<JobId, JobState>,
+    counters: DataplaneCounters,
+    lanes: usize,
+}
+
+impl InaDataplane {
+    /// A dataplane with `n_slots` aggregator slots of `lanes` lanes.
+    pub fn new(n_slots: usize, lanes: usize) -> Self {
+        InaDataplane {
+            pool: SlotPool::new(n_slots, lanes),
+            table: AggregationTable::new(),
+            jobs: FxHashMap::default(),
+            counters: DataplaneCounters::default(),
+            lanes,
+        }
+    }
+
+    /// Lanes per slot (packet payload element count).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Admit a job. SwitchML jobs reserve their whole window up front and
+    /// fail when the pool cannot supply it; ATP jobs always admit.
+    pub fn admit_job(&mut self, job: JobId, cfg: JobConfig) -> Result<(), AdmitError> {
+        if self.jobs.contains_key(&job) {
+            return Err(AdmitError::AlreadyAdmitted);
+        }
+        if cfg.fanin == 0 || cfg.fanin > 64 {
+            return Err(AdmitError::BadFanin);
+        }
+        let mut state = JobState {
+            cfg,
+            round_of_window: Vec::new(),
+            window_slots: Vec::new(),
+            dynamic: FxHashMap::default(),
+        };
+        if cfg.mode == AggMode::SwitchMlSync {
+            if (self.pool.available() as u32) < cfg.window {
+                return Err(AdmitError::PoolExhausted);
+            }
+            for w in 0..cfg.window {
+                let slot = self.pool.alloc(cfg.fanin).expect("checked availability");
+                self.table.insert(TableKey { job: job.0, window: w }, slot);
+                state.window_slots.push(slot);
+                state.round_of_window.push(w);
+            }
+        }
+        self.jobs.insert(job, state);
+        Ok(())
+    }
+
+    /// Release a job's resources (slots + table entries). ATP's dynamic
+    /// slots are keyed by `(job, seq)` in the same table, so removing the
+    /// job's table entries frees them too.
+    pub fn release_job(&mut self, job: JobId) {
+        if self.jobs.remove(&job).is_none() {
+            return;
+        }
+        for slot in self.table.remove_job(job.0) {
+            self.pool.free(slot);
+        }
+    }
+
+    /// Process one update packet.
+    pub fn process(&mut self, pkt: &InaPacket) -> DataplaneAction {
+        self.counters.packets_in += 1;
+        let Some(state) = self.jobs.get_mut(&pkt.job) else {
+            self.counters.fallbacks += 1;
+            return DataplaneAction::Fallback;
+        };
+        debug_assert_eq!(pkt.values.len(), self.lanes, "payload lane mismatch");
+        let fp = state.cfg.fixpoint;
+        let encoded = fp.encode_vec(&pkt.values);
+        match state.cfg.mode {
+            AggMode::SwitchMlSync => {
+                let w = (pkt.seq % state.cfg.window) as usize;
+                if state.round_of_window[w] != pkt.seq {
+                    // The window is still serving an older round; the
+                    // sender must stall — model as fallback/stall.
+                    self.counters.fallbacks += 1;
+                    return DataplaneAction::Fallback;
+                }
+                let slot_idx = state.window_slots[w];
+                let slot = self.pool.slot_mut(slot_idx);
+                match slot.contribute(pkt.worker.0, &encoded) {
+                    Contribution::Duplicate => {
+                        self.counters.duplicates += 1;
+                        DataplaneAction::DroppedDuplicate
+                    }
+                    Contribution::Pending => DataplaneAction::Accepted,
+                    Contribution::Complete => {
+                        let values = fp.decode_vec(&slot.values);
+                        self.counters.aggregations += 1;
+                        self.counters.bytes_aggregated +=
+                            (self.lanes * 4) as u64 * state.cfg.fanin as u64;
+                        // Advance this window to its next round.
+                        slot.reset(state.cfg.fanin);
+                        state.round_of_window[w] = pkt.seq + state.cfg.window;
+                        DataplaneAction::Complete {
+                            seq: pkt.seq,
+                            values,
+                        }
+                    }
+                }
+            }
+            AggMode::AtpAsync => {
+                let key = TableKey {
+                    job: pkt.job.0,
+                    window: pkt.seq,
+                };
+                let slot_idx = match self.table.lookup(key) {
+                    Some(s) => s,
+                    None => match self.pool.alloc(state.cfg.fanin) {
+                        Some(s) => {
+                            self.table.insert(key, s);
+                            state.dynamic.insert(pkt.seq, s);
+                            s
+                        }
+                        None => {
+                            // Best-effort: no switch memory — end hosts
+                            // aggregate this chunk themselves.
+                            self.counters.fallbacks += 1;
+                            return DataplaneAction::Fallback;
+                        }
+                    },
+                };
+                let slot = self.pool.slot_mut(slot_idx);
+                match slot.contribute(pkt.worker.0, &encoded) {
+                    Contribution::Duplicate => {
+                        self.counters.duplicates += 1;
+                        DataplaneAction::DroppedDuplicate
+                    }
+                    Contribution::Pending => DataplaneAction::Accepted,
+                    Contribution::Complete => {
+                        let values = fp.decode_vec(&slot.values);
+                        self.counters.aggregations += 1;
+                        self.counters.bytes_aggregated +=
+                            (self.lanes * 4) as u64 * state.cfg.fanin as u64;
+                        self.table.remove(key);
+                        state.dynamic.remove(&pkt.seq);
+                        self.pool.free(slot_idx);
+                        DataplaneAction::Complete {
+                            seq: pkt.seq,
+                            values,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Poll the hardware counters (control-plane API).
+    pub fn counters(&self) -> DataplaneCounters {
+        self.counters
+    }
+
+    /// Slot pool occupancy view.
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+
+    /// Free slots right now.
+    pub fn available_slots(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Whether a job is currently admitted.
+    pub fn has_job(&self, job: JobId) -> bool {
+        self.jobs.contains_key(&job)
+    }
+}
+
+/// Why a job could not be admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The job id is already in use.
+    AlreadyAdmitted,
+    /// Fan-in must be 1..=64 (slot bitmap width).
+    BadFanin,
+    /// Not enough free aggregator slots for the requested window.
+    PoolExhausted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(fanin: u32, window: u32, mode: AggMode) -> JobConfig {
+        JobConfig {
+            fanin,
+            window,
+            fixpoint: FixPoint::default(),
+            mode,
+        }
+    }
+
+    fn pkt(job: u32, worker: u32, seq: u32, values: Vec<f32>) -> InaPacket {
+        InaPacket {
+            job: JobId(job),
+            worker: WorkerId(worker),
+            seq,
+            values,
+        }
+    }
+
+    #[test]
+    fn switchml_aggregates_three_workers() {
+        let mut dp = InaDataplane::new(8, 2);
+        dp.admit_job(JobId(1), cfg(3, 2, AggMode::SwitchMlSync)).unwrap();
+        assert_eq!(dp.process(&pkt(1, 0, 0, vec![1.0, 2.0])), DataplaneAction::Accepted);
+        assert_eq!(dp.process(&pkt(1, 1, 0, vec![10.0, 20.0])), DataplaneAction::Accepted);
+        match dp.process(&pkt(1, 2, 0, vec![100.0, 200.0])) {
+            DataplaneAction::Complete { seq, values } => {
+                assert_eq!(seq, 0);
+                assert!((values[0] - 111.0).abs() < 1e-3);
+                assert!((values[1] - 222.0).abs() < 1e-3);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert_eq!(dp.counters().aggregations, 1);
+    }
+
+    #[test]
+    fn switchml_window_streams_rounds() {
+        let mut dp = InaDataplane::new(8, 1);
+        dp.admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync)).unwrap();
+        // Rounds 0 and 1 in flight simultaneously (window = 2).
+        dp.process(&pkt(1, 0, 0, vec![1.0]));
+        dp.process(&pkt(1, 0, 1, vec![2.0]));
+        // Round 2 reuses window 0, which is still serving round 0: stall.
+        assert_eq!(dp.process(&pkt(1, 0, 2, vec![3.0])), DataplaneAction::Fallback);
+        // Complete round 0; window 0 advances to round 2.
+        assert!(matches!(
+            dp.process(&pkt(1, 1, 0, vec![1.0])),
+            DataplaneAction::Complete { seq: 0, .. }
+        ));
+        assert_eq!(dp.process(&pkt(1, 0, 2, vec![3.0])), DataplaneAction::Accepted);
+    }
+
+    #[test]
+    fn switchml_admission_fails_when_pool_small() {
+        let mut dp = InaDataplane::new(3, 1);
+        assert!(dp.admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync)).is_ok());
+        assert_eq!(
+            dp.admit_job(JobId(2), cfg(2, 2, AggMode::SwitchMlSync)),
+            Err(AdmitError::PoolExhausted)
+        );
+        dp.release_job(JobId(1));
+        assert!(dp.admit_job(JobId(2), cfg(2, 2, AggMode::SwitchMlSync)).is_ok());
+    }
+
+    #[test]
+    fn atp_allocates_dynamically_and_falls_back() {
+        let mut dp = InaDataplane::new(2, 1);
+        dp.admit_job(JobId(1), cfg(2, 8, AggMode::AtpAsync)).unwrap();
+        // Two chunks in flight occupy the whole pool.
+        dp.process(&pkt(1, 0, 0, vec![1.0]));
+        dp.process(&pkt(1, 0, 1, vec![1.0]));
+        assert_eq!(dp.available_slots(), 0);
+        // Third chunk: best-effort fallback, not an error.
+        assert_eq!(dp.process(&pkt(1, 0, 2, vec![1.0])), DataplaneAction::Fallback);
+        assert_eq!(dp.counters().fallbacks, 1);
+        // Completing chunk 0 frees its slot for chunk 2.
+        assert!(matches!(
+            dp.process(&pkt(1, 1, 0, vec![2.0])),
+            DataplaneAction::Complete { seq: 0, .. }
+        ));
+        assert_eq!(dp.available_slots(), 1);
+        assert_eq!(dp.process(&pkt(1, 0, 2, vec![1.0])), DataplaneAction::Accepted);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut dp = InaDataplane::new(4, 1);
+        dp.admit_job(JobId(1), cfg(3, 1, AggMode::SwitchMlSync)).unwrap();
+        dp.process(&pkt(1, 0, 0, vec![5.0]));
+        assert_eq!(dp.process(&pkt(1, 0, 0, vec![5.0])), DataplaneAction::DroppedDuplicate);
+        dp.process(&pkt(1, 1, 0, vec![5.0]));
+        match dp.process(&pkt(1, 2, 0, vec![5.0])) {
+            DataplaneAction::Complete { values, .. } => {
+                assert!((values[0] - 15.0).abs() < 1e-3, "duplicate was double counted");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_job_falls_back() {
+        let mut dp = InaDataplane::new(4, 1);
+        assert_eq!(dp.process(&pkt(9, 0, 0, vec![1.0])), DataplaneAction::Fallback);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_frees_slots() {
+        let mut dp = InaDataplane::new(4, 1);
+        dp.admit_job(JobId(1), cfg(2, 4, AggMode::SwitchMlSync)).unwrap();
+        assert_eq!(dp.available_slots(), 0);
+        dp.release_job(JobId(1));
+        assert_eq!(dp.available_slots(), 4);
+        dp.release_job(JobId(1)); // no-op
+        assert!(!dp.has_job(JobId(1)));
+    }
+
+    #[test]
+    fn full_allreduce_round_trip_many_chunks() {
+        // 4 workers x 16 chunks of 4 lanes: every chunk's multicast equals
+        // the float sum of the contributions.
+        let fanin = 4u32;
+        let chunks = 16u32;
+        let mut dp = InaDataplane::new(8, 4);
+        dp.admit_job(JobId(1), cfg(fanin, 4, AggMode::SwitchMlSync)).unwrap();
+        let mut completed = 0;
+        for seq in 0..chunks {
+            for w in 0..fanin {
+                let payload = vec![(w as f32 + 1.0) * 0.5; 4];
+                match dp.process(&pkt(1, w, seq, payload)) {
+                    DataplaneAction::Complete { values, .. } => {
+                        completed += 1;
+                        // sum of (w+1)*0.5 for w in 0..4 = 5.0
+                        assert!((values[0] - 5.0).abs() < 1e-3);
+                    }
+                    DataplaneAction::Accepted => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(completed, chunks);
+        assert_eq!(dp.counters().aggregations, chunks as u64);
+    }
+}

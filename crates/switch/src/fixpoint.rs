@@ -1,0 +1,171 @@
+//! Fixed-point conversion for switch arithmetic.
+//!
+//! Tofino-class switches aggregate integers only. Like SwitchML, end hosts
+//! scale floats by a power-of-two factor into `i32`, the switch adds them
+//! with saturation, and receivers divide the factor back out. The scale is
+//! a per-job constant negotiated by the control plane.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-point codec with a power-of-two scale factor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FixPoint {
+    /// log2 of the scaling factor (bits of fraction).
+    pub frac_bits: u8,
+}
+
+impl Default for FixPoint {
+    /// 16 fractional bits — SwitchML's default trade-off between range
+    /// and precision for gradient/activation magnitudes.
+    fn default() -> Self {
+        FixPoint { frac_bits: 16 }
+    }
+}
+
+impl FixPoint {
+    /// Codec with `frac_bits` bits of fraction (≤ 30).
+    pub fn new(frac_bits: u8) -> Self {
+        assert!(frac_bits <= 30, "frac_bits out of range");
+        FixPoint { frac_bits }
+    }
+
+    /// The scale factor `2^frac_bits`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        (1u64 << self.frac_bits) as f64
+    }
+
+    /// Encode one float, saturating at the i32 range.
+    #[inline]
+    pub fn encode(&self, v: f32) -> i32 {
+        let x = (v as f64 * self.scale()).round();
+        if x >= i32::MAX as f64 {
+            i32::MAX
+        } else if x <= i32::MIN as f64 {
+            i32::MIN
+        } else {
+            x as i32
+        }
+    }
+
+    /// Decode one fixed-point value.
+    #[inline]
+    pub fn decode(&self, v: i32) -> f32 {
+        (v as f64 / self.scale()) as f32
+    }
+
+    /// Encode a vector.
+    pub fn encode_vec(&self, vs: &[f32]) -> Vec<i32> {
+        vs.iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decode a vector.
+    pub fn decode_vec(&self, vs: &[i32]) -> Vec<f32> {
+        vs.iter().map(|&v| self.decode(v)).collect()
+    }
+
+    /// The worst-case absolute quantization error of one encode/decode
+    /// round trip (half a least-significant step).
+    pub fn quantum(&self) -> f32 {
+        (0.5 / self.scale()) as f32
+    }
+}
+
+/// Saturating lane-wise accumulate: `acc[i] += add[i]` with i32 saturation
+/// — the switch ALU operation.
+pub fn saturating_add_assign(acc: &mut [i32], add: &[i32]) {
+    debug_assert_eq!(acc.len(), add.len(), "lane count mismatch");
+    for (a, &b) in acc.iter_mut().zip(add) {
+        *a = a.saturating_add(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_quantum() {
+        let fp = FixPoint::default();
+        for &v in &[0.0f32, 1.0, -1.0, 3.14159, -123.456, 1e-4] {
+            let got = fp.decode(fp.encode(v));
+            assert!(
+                (got - v).abs() <= fp.quantum() * 1.01,
+                "{v} -> {got}, quantum {}",
+                fp.quantum()
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_extremes() {
+        let fp = FixPoint::new(16);
+        assert_eq!(fp.encode(1e9), i32::MAX);
+        assert_eq!(fp.encode(-1e9), i32::MIN);
+    }
+
+    #[test]
+    fn vector_codec() {
+        let fp = FixPoint::new(8);
+        let v = vec![1.5f32, -2.25, 0.0];
+        let enc = fp.encode_vec(&v);
+        assert_eq!(enc, vec![384, -576, 0]);
+        let dec = fp.decode_vec(&enc);
+        assert_eq!(dec, v); // exactly representable at 8 frac bits
+    }
+
+    #[test]
+    fn lane_accumulate_saturates() {
+        let mut acc = vec![i32::MAX - 1, 5];
+        saturating_add_assign(&mut acc, &[10, 7]);
+        assert_eq!(acc, vec![i32::MAX, 12]);
+    }
+
+    #[test]
+    fn aggregation_sum_matches_float_sum() {
+        let fp = FixPoint::default();
+        let a = vec![0.5f32, 1.25, -3.0];
+        let b = vec![2.5f32, -0.25, 1.0];
+        let mut acc = fp.encode_vec(&a);
+        saturating_add_assign(&mut acc, &fp.encode_vec(&b));
+        let sum = fp.decode_vec(&acc);
+        for (s, (x, y)) in sum.iter().zip(a.iter().zip(&b)) {
+            assert!((s - (x + y)).abs() <= 2.0 * fp.quantum());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding the switch-aggregated fixed-point sum of N worker
+        /// vectors matches the float sum within N quanta (the INA
+        /// correctness invariant).
+        #[test]
+        fn ina_sum_error_bound(
+            vectors in proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, 8),
+                1..8,
+            )
+        ) {
+            let fp = FixPoint::default();
+            let mut acc = vec![0i32; 8];
+            for v in &vectors {
+                saturating_add_assign(&mut acc, &fp.encode_vec(v));
+            }
+            let got = fp.decode_vec(&acc);
+            for lane in 0..8 {
+                let expect: f32 = vectors.iter().map(|v| v[lane]).sum();
+                let bound = vectors.len() as f32 * fp.quantum() + 1e-3;
+                prop_assert!(
+                    (got[lane] - expect).abs() <= bound,
+                    "lane {lane}: {} vs {expect}",
+                    got[lane]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The exact-match `aggregation_table`.
+//!
+//! "`aggregation_table` is an exact-match table with keys based on the
+//! port and an aggregator ID (or index) used to map incoming INA update
+//! packets to corresponding aggregator slots" (§IV). In this model the
+//! key is `(job, window index)` — the job id plays the role of the ingress
+//! port group, and the window index is the aggregator ID carried in the
+//! packet header.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A table key: which job, which in-flight aggregation window.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TableKey {
+    /// The INA job (collective group) id.
+    pub job: u32,
+    /// Window index: `seq % window_size` for streaming aggregation.
+    pub window: u32,
+}
+
+/// Exact-match mapping from packet keys to slot indices, with update
+/// counters the control plane exposes ("high-speed updates of the
+/// aggregation table entries via vendor-provided runtime libraries").
+#[derive(Default, Debug)]
+pub struct AggregationTable {
+    entries: FxHashMap<TableKey, u32>,
+    inserts: u64,
+    removes: u64,
+}
+
+impl AggregationTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a mapping; returns the displaced slot if the key existed.
+    pub fn insert(&mut self, key: TableKey, slot: u32) -> Option<u32> {
+        self.inserts += 1;
+        self.entries.insert(key, slot)
+    }
+
+    /// Look up the slot for a packet key.
+    pub fn lookup(&self, key: TableKey) -> Option<u32> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Remove a mapping, returning the slot it pointed to.
+    pub fn remove(&mut self, key: TableKey) -> Option<u32> {
+        let r = self.entries.remove(&key);
+        if r.is_some() {
+            self.removes += 1;
+        }
+        r
+    }
+
+    /// Remove every entry belonging to `job`; returns the freed slots.
+    pub fn remove_job(&mut self, job: u32) -> Vec<u32> {
+        let keys: Vec<TableKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.job == job)
+            .copied()
+            .collect();
+        let mut slots: Vec<u32> = keys
+            .into_iter()
+            .filter_map(|k| self.remove(k))
+            .collect();
+        slots.sort_unstable();
+        slots
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (inserts, removes) counters.
+    pub fn update_counters(&self) -> (u64, u64) {
+        (self.inserts, self.removes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = AggregationTable::new();
+        let k = TableKey { job: 1, window: 0 };
+        assert_eq!(t.insert(k, 42), None);
+        assert_eq!(t.lookup(k), Some(42));
+        assert_eq!(t.insert(k, 43), Some(42));
+        assert_eq!(t.remove(k), Some(43));
+        assert_eq!(t.lookup(k), None);
+        assert_eq!(t.update_counters(), (2, 1));
+    }
+
+    #[test]
+    fn remove_job_clears_all_windows() {
+        let mut t = AggregationTable::new();
+        for w in 0..4 {
+            t.insert(TableKey { job: 7, window: w }, 100 + w);
+            t.insert(TableKey { job: 8, window: w }, 200 + w);
+        }
+        let freed = t.remove_job(7);
+        assert_eq!(freed, vec![100, 101, 102, 103]);
+        assert_eq!(t.len(), 4);
+        assert!(t.lookup(TableKey { job: 8, window: 2 }).is_some());
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let mut t = AggregationTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(TableKey { job: 0, window: 0 }), None);
+        assert_eq!(t.remove(TableKey { job: 0, window: 0 }), None);
+    }
+}

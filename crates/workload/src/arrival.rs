@@ -1,0 +1,205 @@
+//! Arrival processes: Poisson and bursty MMPP.
+//!
+//! The paper assumes Poisson arrivals (justifying the Pollaczek–Khinchine
+//! queueing estimate, §III-C1) and generates request times "using a
+//! Poisson distribution with different request rates". The bursty
+//! conditions that degrade homogeneous INA (§I: throughput drops of ~78 %)
+//! are reproduced with a two-state Markov-modulated Poisson process.
+
+use hs_des::{SimSpan, SimTime};
+use rand::rngs::SmallRng;
+use rand_distr::{Distribution, Exp};
+
+/// A source of inter-arrival gaps.
+pub trait ArrivalProcess {
+    /// Draw the next inter-arrival gap.
+    fn next_gap(&mut self, rng: &mut SmallRng) -> SimSpan;
+
+    /// The long-run average rate (requests/second).
+    fn mean_rate(&self) -> f64;
+
+    /// Materialize arrival instants until `horizon`.
+    fn arrivals_until(&mut self, rng: &mut SmallRng, horizon: SimTime) -> Vec<SimTime>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t += self.next_gap(rng);
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Homogeneous Poisson arrivals at `rate` requests/second.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    /// Arrival rate λ, requests per second.
+    pub rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson process at `rate` req/s.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Poisson { rate }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> SimSpan {
+        let exp = Exp::new(self.rate).expect("positive rate");
+        SimSpan::from_secs_f64(exp.sample(rng))
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Two-state Markov-modulated Poisson process: a *calm* state at
+/// `base_rate` and a *burst* state at `burst_rate`, with exponential
+/// sojourn times. Burstiness is what overloads a single aggregation
+/// point.
+#[derive(Clone, Copy, Debug)]
+pub struct Mmpp {
+    /// Rate in the calm state, req/s.
+    pub base_rate: f64,
+    /// Rate in the burst state, req/s.
+    pub burst_rate: f64,
+    /// Mean sojourn in the calm state, seconds.
+    pub mean_calm_s: f64,
+    /// Mean sojourn in the burst state, seconds.
+    pub mean_burst_s: f64,
+    in_burst: bool,
+    state_left: f64,
+}
+
+impl Mmpp {
+    /// Construct with both sojourn means.
+    pub fn new(base_rate: f64, burst_rate: f64, mean_calm_s: f64, mean_burst_s: f64) -> Self {
+        assert!(base_rate > 0.0 && burst_rate > 0.0);
+        assert!(mean_calm_s > 0.0 && mean_burst_s > 0.0);
+        Mmpp {
+            base_rate,
+            burst_rate,
+            mean_calm_s,
+            mean_burst_s,
+            in_burst: false,
+            state_left: 0.0,
+        }
+    }
+
+    /// A convenient bursty profile: bursts at `burst_factor ×` the base
+    /// rate, 20 % of the time, with 2 s bursts.
+    pub fn bursty(base_rate: f64, burst_factor: f64) -> Self {
+        Mmpp::new(base_rate, base_rate * burst_factor, 8.0, 2.0)
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> SimSpan {
+        let mut gap = 0.0f64;
+        loop {
+            if self.state_left <= 0.0 {
+                // Enter the next state with an exponential sojourn.
+                self.in_burst = !self.in_burst;
+                let mean = if self.in_burst {
+                    self.mean_burst_s
+                } else {
+                    self.mean_calm_s
+                };
+                self.state_left = Exp::new(1.0 / mean).expect("positive mean").sample(rng);
+            }
+            let rate = if self.in_burst {
+                self.burst_rate
+            } else {
+                self.base_rate
+            };
+            let draw = Exp::new(rate).expect("positive rate").sample(rng);
+            if draw <= self.state_left {
+                self.state_left -= draw;
+                gap += draw;
+                return SimSpan::from_secs_f64(gap);
+            }
+            // No arrival before the state expires; spend the remainder
+            // and re-draw in the next state.
+            gap += self.state_left;
+            self.state_left = 0.0;
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let p_burst = self.mean_burst_s / (self.mean_burst_s + self.mean_calm_s);
+        self.base_rate * (1.0 - p_burst) + self.burst_rate * p_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_des::SeedSplitter;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut p = Poisson::new(10.0);
+        let mut rng = SeedSplitter::new(1).stream("arrivals");
+        let arrivals = p.arrivals_until(&mut rng, SimTime::from_secs(1000));
+        let rate = arrivals.len() as f64 / 1000.0;
+        assert!((rate / 10.0 - 1.0).abs() < 0.05, "rate = {rate}");
+        // Strictly increasing timestamps.
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_gap_cv_is_one() {
+        let mut p = Poisson::new(5.0);
+        let mut rng = SeedSplitter::new(2).stream("arrivals");
+        let gaps: Vec<f64> = (0..20_000)
+            .map(|_| p.next_gap(&mut rng).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let mut m = Mmpp::bursty(5.0, 10.0);
+        let mut rng = SeedSplitter::new(3).stream("arrivals");
+        let gaps: Vec<f64> = (0..20_000)
+            .map(|_| m.next_gap(&mut rng).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.05, "MMPP cv = {cv} should exceed Poisson's 1.0");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_formula() {
+        let m = Mmpp::new(4.0, 20.0, 8.0, 2.0);
+        // p_burst = 0.2 -> mean = 4*0.8 + 20*0.2 = 7.2.
+        assert!((m.mean_rate() - 7.2).abs() < 1e-9);
+        // Empirical check.
+        let mut m2 = m;
+        let mut rng = SeedSplitter::new(4).stream("arrivals");
+        let arrivals = m2.arrivals_until(&mut rng, SimTime::from_secs(2000));
+        let rate = arrivals.len() as f64 / 2000.0;
+        assert!((rate / 7.2 - 1.0).abs() < 0.1, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        Poisson::new(0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hs-workload — request traces and arrival processes
+//!
+//! The paper drives its testbed with replayed **ShareGPT** (chatbot) and
+//! **LongBench** (summarization) traces, generating arrival times from a
+//! Poisson process because the datasets carry no timestamps (§V "Model
+//! and workloads setup"). Neither dataset is available here, so this crate
+//! generates synthetic traces matching the published length statistics
+//! (DESIGN.md "Substitutions"):
+//!
+//! * [`sharegpt_like`] — short-to-medium prompts, medium generations
+//!   (log-normal lengths; mean ≈ 160 input / 210 output tokens, the
+//!   moments reported by the DistServe/vLLM line of work);
+//! * [`longbench_like`] — long prompts (4–12 k tokens), short
+//!   generations — the summarization regime whose huge `K_in` stresses
+//!   prefill communication;
+//! * [`arrival`] — Poisson arrivals plus a two-state MMPP for the *bursty*
+//!   conditions under which homogeneous INA collapses (§I, §II-C);
+//! * [`trace`] — materialized request records and replay iteration;
+//! * [`stats`] — means/percentiles used by every experiment report.
+
+pub mod arrival;
+pub mod spec;
+pub mod stats;
+pub mod trace;
+
+pub use arrival::{ArrivalProcess, Mmpp, Poisson};
+pub use spec::{longbench_like, sharegpt_like, LengthSpec, WorkloadSpec};
+pub use stats::{mean, percentile};
+pub use trace::{Request, RequestId, Trace};

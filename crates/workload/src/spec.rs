@@ -1,0 +1,237 @@
+//! Workload length distributions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A clamped log-normal token-length distribution.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LengthSpec {
+    /// Mean of the underlying normal (log-token space).
+    pub mu: f64,
+    /// Std-dev of the underlying normal.
+    pub sigma: f64,
+    /// Minimum length (inclusive).
+    pub min: u32,
+    /// Maximum length (inclusive).
+    pub max: u32,
+}
+
+impl LengthSpec {
+    /// A spec whose log-normal has approximately the given mean, with
+    /// shape `sigma`, clamped to `[min, max]`.
+    pub fn with_mean(mean: f64, sigma: f64, min: u32, max: u32) -> Self {
+        assert!(mean > 0.0 && min >= 1 && max >= min);
+        // E[lognormal] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        LengthSpec {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Draw one length.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let d = LogNormal::new(self.mu, self.sigma).expect("valid lognormal");
+        let x = d.sample(rng);
+        (x.round() as i64).clamp(self.min as i64, self.max as i64) as u32
+    }
+
+    /// The analytic (unclamped) mean.
+    pub fn analytic_mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// A full workload: input and output length distributions plus SLAs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Name for reports ("chatbot", "summarization").
+    pub name: String,
+    /// Input (prompt) length distribution.
+    pub input: LengthSpec,
+    /// Output (generation) length distribution.
+    pub output: LengthSpec,
+    /// TTFT SLA, seconds (Table I `T_sla^pre`).
+    pub ttft_sla_s: f64,
+    /// TPOT SLA, seconds (Table I `T_sla^dec`).
+    pub tpot_sla_s: f64,
+}
+
+impl WorkloadSpec {
+    /// Draw one `(input_len, output_len)` pair.
+    pub fn sample(&self, rng: &mut SmallRng) -> (u32, u32) {
+        (self.input.sample(rng), self.output.sample(rng))
+    }
+
+    /// Override the SLAs (the paper uses looser SLAs in simulation than
+    /// on the testbed).
+    pub fn with_slas(mut self, ttft_s: f64, tpot_s: f64) -> Self {
+        self.ttft_sla_s = ttft_s;
+        self.tpot_sla_s = tpot_s;
+        self
+    }
+
+    /// Mean tokens per request (input + output), for load estimation.
+    pub fn mean_tokens(&self) -> f64 {
+        self.input.analytic_mean() + self.output.analytic_mean()
+    }
+}
+
+/// The chatbot workload: ShareGPT-like lengths with the paper's testbed
+/// SLAs (2.5 s TTFT / 0.15 s TPOT).
+pub fn sharegpt_like() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "chatbot".into(),
+        input: LengthSpec::with_mean(160.0, 1.0, 4, 2048),
+        output: LengthSpec::with_mean(210.0, 0.8, 16, 1024),
+        ttft_sla_s: 2.5,
+        tpot_sla_s: 0.15,
+    }
+}
+
+/// The summarization workload: LongBench-like lengths with the paper's
+/// testbed SLAs (15 s TTFT / 0.15 s TPOT).
+///
+/// LongBench documents are far longer than 2 k tokens, but the paper
+/// serves them on OPT models whose context window is 2048 — prompts are
+/// necessarily truncated to fit, so the effective distribution is long
+/// prompts pressed against the 2 k ceiling (≈ 10× the chatbot mean).
+pub fn longbench_like() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "summarization".into(),
+        input: LengthSpec::with_mean(1600.0, 0.35, 512, 1948),
+        output: LengthSpec::with_mean(100.0, 0.6, 32, 512),
+        ttft_sla_s: 15.0,
+        tpot_sla_s: 0.15,
+    }
+}
+
+/// A deterministic "uniform" workload for tests: every request is
+/// exactly `(input, output)` tokens.
+pub fn fixed(input: u32, output: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("fixed-{input}x{output}"),
+        input: LengthSpec {
+            mu: (input as f64).ln(),
+            sigma: 0.0,
+            min: input,
+            max: input,
+        },
+        output: LengthSpec {
+            mu: (output as f64).ln(),
+            sigma: 0.0,
+            min: output,
+            max: output,
+        },
+        ttft_sla_s: 2.5,
+        tpot_sla_s: 0.15,
+    }
+}
+
+/// Bernoulli mixture of two workloads (models a shared cluster serving
+/// both applications).
+pub fn mixture(a: WorkloadSpec, b: WorkloadSpec, frac_a: f64) -> MixedWorkload {
+    assert!((0.0..=1.0).contains(&frac_a));
+    MixedWorkload { a, b, frac_a }
+}
+
+/// See [`mixture`].
+#[derive(Clone, Debug)]
+pub struct MixedWorkload {
+    /// First component.
+    pub a: WorkloadSpec,
+    /// Second component.
+    pub b: WorkloadSpec,
+    /// Probability of drawing from `a`.
+    pub frac_a: f64,
+}
+
+impl MixedWorkload {
+    /// Draw one `(input, output, from_a)` triple.
+    pub fn sample(&self, rng: &mut SmallRng) -> (u32, u32, bool) {
+        if rng.gen_bool(self.frac_a) {
+            let (i, o) = self.a.sample(rng);
+            (i, o, true)
+        } else {
+            let (i, o) = self.b.sample(rng);
+            (i, o, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_des::SeedSplitter;
+
+    fn rng() -> SmallRng {
+        SeedSplitter::new(42).stream("lengths")
+    }
+
+    #[test]
+    fn sharegpt_moments() {
+        let spec = sharegpt_like();
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<u32> = (0..n).map(|_| spec.input.sample(&mut r)).collect();
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        // Clamping pulls the mean down slightly; stay within 20%.
+        assert!((mean / 160.0 - 1.0).abs() < 0.2, "mean input = {mean}");
+        assert!(xs.iter().all(|&x| (4..=2048).contains(&x)));
+    }
+
+    #[test]
+    fn longbench_is_long_but_fits_opt_context() {
+        let spec = longbench_like();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..5000).map(|_| spec.input.sample(&mut r)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / 5000.0;
+        assert!(mean > 1200.0 && mean < 1900.0, "mean = {mean}");
+        // Summarization inputs dwarf chatbot inputs but never exceed the
+        // OPT context window (2048 incl. generation headroom).
+        assert!(mean > 8.0 * 160.0);
+        assert!(samples.iter().all(|&x| x < 2048));
+    }
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let spec = fixed(100, 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(spec.sample(&mut r), (100, 10));
+        }
+    }
+
+    #[test]
+    fn with_mean_hits_target() {
+        let s = LengthSpec::with_mean(500.0, 0.7, 1, 1_000_000);
+        assert!((s.analytic_mean() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slas_match_paper() {
+        assert_eq!(sharegpt_like().ttft_sla_s, 2.5);
+        assert_eq!(sharegpt_like().tpot_sla_s, 0.15);
+        assert_eq!(longbench_like().ttft_sla_s, 15.0);
+        let sim = sharegpt_like().with_slas(4.0, 0.2);
+        assert_eq!(sim.ttft_sla_s, 4.0);
+        assert_eq!(sim.tpot_sla_s, 0.2);
+    }
+
+    #[test]
+    fn mixture_draws_both() {
+        let m = mixture(sharegpt_like(), longbench_like(), 0.5);
+        let mut r = rng();
+        let mut a_count = 0;
+        for _ in 0..1000 {
+            let (_, _, from_a) = m.sample(&mut r);
+            if from_a {
+                a_count += 1;
+            }
+        }
+        assert!(a_count > 350 && a_count < 650, "a_count = {a_count}");
+    }
+}
