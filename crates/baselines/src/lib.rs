@@ -28,7 +28,7 @@ use hs_des::{SeedSplitter, SimSpan, SimTime};
 use hs_model::ModelConfig;
 use hs_topology::builders::BuiltTopology;
 use hs_topology::{AllPairs, LinkWeight, NodeId};
-use hs_workload::{Poisson, Trace, WorkloadSpec};
+use hs_workload::{FaultPlan, Poisson, Trace, WorkloadSpec};
 use rustc_hash::FxHashMap;
 
 /// Which system to deploy.
@@ -92,6 +92,8 @@ pub struct Deployment {
     pub ina_capacity_per_switch: usize,
     /// Bursty background cross traffic `(flows/s, bytes)`.
     pub background: Option<(f64, u64)>,
+    /// Scheduled fabric faults injected during serving.
+    pub faults: FaultPlan,
     /// HeroServe's full system object when `kind == HeroServe`.
     hero: Option<HeroServe>,
 }
@@ -140,12 +142,20 @@ impl BaselineKind {
             coef: input.coef,
             ina_capacity_per_switch: 8,
             background: None,
+            faults: FaultPlan::none(),
             hero,
         })
     }
 }
 
 impl Deployment {
+    /// Inject a fault schedule into subsequent `serve` calls (builder
+    /// style; the same trace can then be replayed against every system).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// All-pairs structures over GPUs + INA switches.
     pub fn all_pairs(&self) -> AllPairs {
         let mut nodes: Vec<NodeId> = self.topology.all_gpus();
@@ -158,9 +168,12 @@ impl Deployment {
     /// The communication strategy this system runs online.
     pub fn strategy(&self) -> Box<dyn CommStrategy> {
         match self.kind {
-            BaselineKind::HeroServe => {
-                Box::new(self.hero.as_ref().expect("hero deployment").online_scheduler())
-            }
+            BaselineKind::HeroServe => Box::new(
+                self.hero
+                    .as_ref()
+                    .expect("hero deployment")
+                    .online_scheduler(),
+            ),
             BaselineKind::DistServe => Box::new(StaticStrategy::uniform(
                 "DistServe",
                 Scheme::Ring,
@@ -207,6 +220,7 @@ impl Deployment {
             let mut cfg = h.cluster_config();
             cfg.ina_capacity_per_switch = self.ina_capacity_per_switch;
             cfg.background = self.background;
+            cfg.faults = self.faults.clone();
             return cfg;
         }
         let gpu_memory_bytes = self
@@ -228,6 +242,7 @@ impl Deployment {
             monitor_period: SimSpan::from_millis(50),
             ina_capacity_per_switch: self.ina_capacity_per_switch,
             background: self.background,
+            faults: self.faults.clone(),
         }
     }
 
@@ -321,9 +336,15 @@ mod tests {
 
     #[test]
     fn scheme_spaces_match_paper_roles() {
-        assert_eq!(BaselineKind::DistServe.scheme_space(), SchemeSpace::RingOnly);
+        assert_eq!(
+            BaselineKind::DistServe.scheme_space(),
+            SchemeSpace::RingOnly
+        );
         assert_eq!(BaselineKind::DsAtp.scheme_space(), SchemeSpace::InaOnly);
-        assert_eq!(BaselineKind::DsSwitchml.scheme_space(), SchemeSpace::InaOnly);
+        assert_eq!(
+            BaselineKind::DsSwitchml.scheme_space(),
+            SchemeSpace::InaOnly
+        );
         assert_eq!(BaselineKind::HeroServe.scheme_space(), SchemeSpace::Hybrid);
     }
 }

@@ -22,13 +22,14 @@ fn main() {
     let topo = testbed();
     let model = ModelConfig::opt_66b();
     let workload = hs_workload::sharegpt_like();
-    let mut table = ExpTable::new(
-        "ablations",
-        &["ablation", "variant", "metric", "value"],
-    );
+    let mut table = ExpTable::new("ablations", &["ablation", "variant", "metric", "value"]);
 
     // ---- 1. Scheme space (planner estimate + served attainment). ----
-    for space in [SchemeSpace::RingOnly, SchemeSpace::InaOnly, SchemeSpace::Hybrid] {
+    for space in [
+        SchemeSpace::RingOnly,
+        SchemeSpace::InaOnly,
+        SchemeSpace::Hybrid,
+    ] {
         let mut input = PlannerInput::interleaved(
             &topo.graph,
             model.clone(),

@@ -29,7 +29,13 @@ fn four_gpu_fabric(nvlink: bool) -> (hs_topology::Graph, Vec<NodeId>) {
         }
         for i in 0..4 {
             for j in (i + 1)..4 {
-                b.add_link(gpus[i], gpus[j], LinkKind::NvLink, bandwidth::NVLINK_A100, 300);
+                b.add_link(
+                    gpus[i],
+                    gpus[j],
+                    LinkKind::NvLink,
+                    bandwidth::NVLINK_A100,
+                    300,
+                );
             }
         }
     } else {
@@ -63,9 +69,24 @@ fn main() {
     );
 
     let cases: Vec<(&str, GpuModel, bool, &str)> = vec![
-        ("L40 FP16/FP16 (Ethernet TP=4)", GpuModel::l40(), false, ">65% comm"),
-        ("A100 FP16/FP16 (Ethernet TP=4)", GpuModel::a100(), false, ">75% comm"),
-        ("A100 FP16/FP16 (NVLink TP=4)", GpuModel::a100(), true, "n/a (contrast)"),
+        (
+            "L40 FP16/FP16 (Ethernet TP=4)",
+            GpuModel::l40(),
+            false,
+            ">65% comm",
+        ),
+        (
+            "A100 FP16/FP16 (Ethernet TP=4)",
+            GpuModel::a100(),
+            false,
+            ">75% comm",
+        ),
+        (
+            "A100 FP16/FP16 (NVLink TP=4)",
+            GpuModel::a100(),
+            true,
+            "n/a (contrast)",
+        ),
     ];
 
     for (name, gpu, nvlink, paper) in cases {

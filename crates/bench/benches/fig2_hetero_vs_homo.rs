@@ -22,15 +22,26 @@ fn main() {
 
     let mut table = ExpTable::new(
         "fig2_hetero_vs_homo",
-        &["size", "scheme", "closed-form (us)", "executed (us)", "paper"],
+        &[
+            "size",
+            "scheme",
+            "closed-form (us)",
+            "executed (us)",
+            "paper",
+        ],
     );
 
     for &bytes in &[256_000u64, 1_000_000, 4_000_000] {
         let homo_cf = ina_latency(&m.graph, &m.gpus, m.core, &ap, bytes, None) * 1e6;
-        let het_cf =
-            hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None) * 1e6;
-        let homo_ex = run_isolated(&m.graph, &ap, &m.gpus, Scheme::Ina { switch: m.core }, bytes)
-            .as_micros_f64();
+        let het_cf = hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None) * 1e6;
+        let homo_ex = run_isolated(
+            &m.graph,
+            &ap,
+            &m.gpus,
+            Scheme::Ina { switch: m.core },
+            bytes,
+        )
+        .as_micros_f64();
         let het_ex = run_isolated(
             &m.graph,
             &ap,

@@ -144,7 +144,7 @@ fn main() {
                     "tpot_mean_s": lat.mean_tpot_s,
                     "tpot_p90_s": lat.p90_tpot_s,
                     "sla_attainment_at_common": lat.sla_attainment,
-                    "sweep_samples": sweep.samples,
+                    "sweep_samples": sweep.samples.clone(),
                 }),
             );
         }

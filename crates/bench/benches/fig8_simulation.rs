@@ -84,7 +84,11 @@ fn main() {
             .map(|(_, s)| s.max_rate)
             .unwrap_or(0.0);
         for (kind, sweep) in &swept {
-            let ratio = if dist > 0.0 { sweep.max_rate / dist } else { 0.0 };
+            let ratio = if dist > 0.0 {
+                sweep.max_rate / dist
+            } else {
+                0.0
+            };
             let paper = match (fabric, kind) {
                 ("2tracks", BaselineKind::HeroServe) => "x1.12-1.94 over baselines",
                 ("8tracks", BaselineKind::HeroServe) => "x1.09-1.83 over baselines",
@@ -105,7 +109,7 @@ fn main() {
                     "max_rate_rps": sweep.max_rate,
                     "vs_distserve": ratio,
                     "tpot_mean_s": sweep.report.mean_tpot_s,
-                    "samples": sweep.samples,
+                    "samples": sweep.samples.clone(),
                 }),
             );
         }

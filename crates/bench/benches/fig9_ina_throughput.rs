@@ -30,7 +30,14 @@ fn main() {
 
     let mut table = ExpTable::new(
         "fig9_ina_throughput",
-        &["msg size (MB)", "system", "agg throughput (Gbps)", "vs DistServe", "fallbacks", "paper"],
+        &[
+            "msg size (MB)",
+            "system",
+            "agg throughput (Gbps)",
+            "vs DistServe",
+            "fallbacks",
+            "paper",
+        ],
     );
 
     for &mb in &[4u64, 16, 64] {

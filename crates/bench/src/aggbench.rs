@@ -250,7 +250,10 @@ pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u
                 // members) — count it and immediately relaunch via timer
                 // to avoid infinite recursion at one instant.
                 result.ops += 1;
-                events.push(now + hs_des::SimSpan::from_micros(1), Ev::CollTimer(u64::MAX - gi as u64));
+                events.push(
+                    now + hs_des::SimSpan::from_micros(1),
+                    Ev::CollTimer(u64::MAX - gi as u64),
+                );
             }
             Progress::InFlight => {
                 colls.insert(id, (exec, gi, held));
@@ -268,8 +271,21 @@ pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u
     for gi in 0..groups.len() {
         let nearest = nearest_switch[gi];
         start_group(
-            gi, now, cfg, graph, ap, &mut net, &mut events, &mut groups, &mut colls,
-            &mut next_coll, &mut ina_active, &mut ina_waiting, &mut hero, &util, nearest,
+            gi,
+            now,
+            cfg,
+            graph,
+            ap,
+            &mut net,
+            &mut events,
+            &mut groups,
+            &mut colls,
+            &mut next_coll,
+            &mut ina_active,
+            &mut ina_waiting,
+            &mut hero,
+            &util,
+            nearest,
             &mut result,
         );
     }
@@ -369,8 +385,21 @@ pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u
             if !groups[gi].waiting {
                 let nearest = nearest_switch[gi];
                 start_group(
-                    gi, now, cfg, graph, ap, &mut net, &mut events, &mut groups, &mut colls,
-                    &mut next_coll, &mut ina_active, &mut ina_waiting, &mut hero, &util, nearest,
+                    gi,
+                    now,
+                    cfg,
+                    graph,
+                    ap,
+                    &mut net,
+                    &mut events,
+                    &mut groups,
+                    &mut colls,
+                    &mut next_coll,
+                    &mut ina_active,
+                    &mut ina_waiting,
+                    &mut hero,
+                    &util,
+                    nearest,
                     &mut result,
                 );
             }
@@ -393,7 +422,10 @@ pub fn cross_server_groups(
 ) -> Vec<Vec<NodeId>> {
     let mut rng = SeedSplitter::new(seed).stream("groups");
     let servers = gpus_by_server.len();
-    assert!(servers >= 2, "need multiple servers for cross-server groups");
+    assert!(
+        servers >= 2,
+        "need multiple servers for cross-server groups"
+    );
     let mut used: FxHashMap<NodeId, ()> = FxHashMap::default();
     let mut groups = Vec::new();
     for g in 0..n {

@@ -18,12 +18,12 @@ use hs_model::{
     decode_latency_secs, prefill_latency_secs, BatchStats, CostCoefficients, MemoryModel,
     ModelConfig,
 };
-use hs_simnet::{FlowId, LinkMonitor, SimNet};
-use hs_topology::{AllPairs, Graph, LinkKind, NodeId};
-use hs_workload::{ArrivalProcess, Mmpp, RequestId, Trace};
+use hs_simnet::{Flow, FlowId, LinkMonitor, SimNet};
+use hs_topology::{AllPairs, Graph, LinkId, LinkKind, NodeId};
+use hs_workload::{ArrivalProcess, FaultKind, FaultPlan, Mmpp, RequestId, Trace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
 /// Tag-space partition for flow demultiplexing.
@@ -59,6 +59,9 @@ pub struct ClusterConfig {
     /// traffic of §I/§II-C): `(mean flows/s, bytes per flow)`, arrivals
     /// MMPP-modulated, endpoints random GPU pairs.
     pub background: Option<(f64, u64)>,
+    /// Scheduled fabric faults replayed during the run (link/switch/GPU
+    /// failures and recoveries). Empty for a healthy fabric.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -74,10 +77,39 @@ impl ClusterConfig {
 
 enum Ev {
     Arrival(u32),
-    ComputeDone { inst: usize },
-    CollTimer { coll: u64 },
+    ComputeDone {
+        inst: usize,
+    },
+    CollTimer {
+        coll: u64,
+    },
     MonitorTick,
     Background,
+    /// Scheduled fault (index into `cfg.faults.events()`).
+    Fault(u32),
+    /// Backed-off relaunch of an aborted collective.
+    RetryColl {
+        key: u64,
+    },
+    /// Backed-off relaunch of an aborted KV transfer.
+    RetryKv {
+        req: u64,
+    },
+}
+
+/// What a collective was compiled from — enough to recompile and relaunch
+/// it if a fault aborts its flows mid-run.
+#[derive(Clone)]
+enum CollOrigin {
+    /// A tensor-group all-reduce: the strategy re-chooses the scheme on
+    /// retry (so it can route around a failed switch).
+    Group {
+        group_id: u64,
+        group: Vec<NodeId>,
+        bytes: u64,
+    },
+    /// Pipeline-stage boundary transfers: paths are re-chosen on retry.
+    PipeHops { hops: Vec<(NodeId, NodeId, u64)> },
 }
 
 struct CollState {
@@ -85,12 +117,40 @@ struct CollState {
     inst: usize,
     /// The INA switch whose admission this collective holds, if any.
     ina_switch: Option<NodeId>,
+    origin: CollOrigin,
+    /// How many times this collective has been relaunched after aborts.
+    attempt: u32,
 }
 
 struct WaitingColl {
     inst: usize,
     plan: CollectivePlan,
     switch: NodeId,
+    origin: CollOrigin,
+}
+
+/// An aborted collective awaiting its backed-off relaunch.
+struct PendingRetry {
+    inst: usize,
+    origin: CollOrigin,
+    attempt: u32,
+    aborted_at: SimTime,
+}
+
+/// Route/volume of an in-flight KV transfer, kept so a fault-induced
+/// abort can be retried (the whole transfer is resent — retransmission
+/// from zero is the conservative model).
+struct KvFlight {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    attempt: u32,
+    aborted_at: SimTime,
+}
+
+/// Capped exponential backoff before relaunching aborted work.
+fn retry_delay(attempt: u32) -> SimSpan {
+    SimSpan::from_millis((10u64 << attempt.min(6)).min(500))
 }
 
 /// The simulator.
@@ -121,6 +181,17 @@ pub struct ClusterSim {
     ina_fallbacks: u64,
     offered_rate: f64,
     bg: Option<(Mmpp, SmallRng)>,
+    // --- fault state -------------------------------------------------
+    failed_switches: FxHashSet<NodeId>,
+    gpu_slowdown: FxHashMap<NodeId, f64>,
+    pending_coll_retry: FxHashMap<u64, PendingRetry>,
+    kv_inflight: FxHashMap<u64, KvFlight>,
+    ina_failovers: u64,
+    aborted_flows: u64,
+    flow_retries: u64,
+    /// Seconds from each fault-induced abort to a relaunch whose plan
+    /// avoids every dead link (time-to-reroute samples).
+    reroute_secs: Vec<f64>,
 }
 
 impl ClusterSim {
@@ -162,9 +233,11 @@ impl ClusterSim {
             .collect();
         // Memory model for the utilization metric (per-GPU view of the
         // first decode spec; instances are homogeneous per experiment).
-        let mem_spec = cfg.decode.first().cloned().unwrap_or_else(|| {
-            cfg.prefill.first().cloned().expect("at least one instance")
-        });
+        let mem_spec = cfg
+            .decode
+            .first()
+            .cloned()
+            .unwrap_or_else(|| cfg.prefill.first().cloned().expect("at least one instance"));
         let mem_model = MemoryModel::new(&cfg.model, mem_spec.p_tens(), mem_spec.p_pipe());
 
         let mut events = EventQueue::with_capacity(trace.len() * 4 + 16);
@@ -183,6 +256,9 @@ impl ClusterSim {
             events.push(r.arrival, Ev::Arrival(i as u32));
         }
         events.push(SimTime::ZERO + cfg.monitor_period, Ev::MonitorTick);
+        for (i, f) in cfg.faults.events().iter().enumerate() {
+            events.push(f.at, Ev::Fault(i as u32));
+        }
         let bg = cfg.background.map(|(rate, _)| {
             let mut rng = hs_des::SeedSplitter::new(0xB66).stream("background");
             let mut mmpp = Mmpp::bursty(rate, 5.0);
@@ -222,6 +298,14 @@ impl ClusterSim {
             ina_fallbacks: 0,
             offered_rate,
             bg,
+            failed_switches: FxHashSet::default(),
+            gpu_slowdown: FxHashMap::default(),
+            pending_coll_retry: FxHashMap::default(),
+            kv_inflight: FxHashMap::default(),
+            ina_failovers: 0,
+            aborted_flows: 0,
+            flow_retries: 0,
+            reroute_secs: Vec::new(),
         }
     }
 
@@ -287,7 +371,191 @@ impl ClusterSim {
                 self.events
                     .push(self.now + self.cfg.monitor_period, Ev::MonitorTick);
             }
+            Ev::Fault(idx) => {
+                let kind = self.cfg.faults.events()[idx as usize].kind;
+                self.apply_fault(kind);
+            }
+            Ev::RetryColl { key } => {
+                let Some(p) = self.pending_coll_retry.remove(&key) else {
+                    return;
+                };
+                self.flow_retries += 1;
+                self.relaunch_collective(p);
+            }
+            Ev::RetryKv { req } => self.retry_kv(req),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling
+    // ------------------------------------------------------------------
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown { link } => self.set_link(link, 0.0),
+            FaultKind::LinkUp { link } => self.set_link(link, 1.0),
+            FaultKind::LinkDegrade { link, factor } => self.set_link(link, factor),
+            FaultKind::SwitchFail { switch } => {
+                self.failed_switches.insert(switch);
+                let adjacent: Vec<LinkId> =
+                    self.g.neighbors(switch).iter().map(|&(_, l)| l).collect();
+                for l in adjacent {
+                    self.set_link(l, 0.0);
+                }
+                // Collectives queued on the dead switch would never be
+                // admitted; relaunch them so the failover branch can
+                // degrade them to a surviving scheme.
+                if let Some(q) = self.ina_waiting.remove(&switch) {
+                    for w in q {
+                        self.schedule_coll_retry(w.inst, w.origin, 0);
+                    }
+                }
+            }
+            FaultKind::SwitchRecover { switch } => {
+                self.failed_switches.remove(&switch);
+                let adjacent: Vec<LinkId> =
+                    self.g.neighbors(switch).iter().map(|&(_, l)| l).collect();
+                for l in adjacent {
+                    self.set_link(l, 1.0);
+                }
+            }
+            FaultKind::GpuStall { gpu, slowdown } => {
+                self.gpu_slowdown.insert(gpu, slowdown);
+            }
+            FaultKind::GpuRecover { gpu } => {
+                self.gpu_slowdown.remove(&gpu);
+            }
+        }
+        self.strategy.on_fault(&kind, self.now);
+    }
+
+    fn set_link(&mut self, l: LinkId, factor: f64) {
+        let aborted = self.net.set_link_scale(self.now, l, factor);
+        self.handle_aborted_flows(aborted);
+    }
+
+    /// Demux flows a dead link tore out of the network: collectives are
+    /// aborted wholesale (their surviving flows cancelled) and relaunched
+    /// after a backoff; KV transfers are resent; background flows drop.
+    fn handle_aborted_flows(&mut self, aborted: Vec<(FlowId, Flow)>) {
+        if aborted.is_empty() {
+            return;
+        }
+        let mut dead_colls: FxHashMap<u64, Vec<FlowId>> = FxHashMap::default();
+        for (id, flow) in &aborted {
+            self.aborted_flows += 1;
+            match flow.tag >> TAG_KIND_SHIFT {
+                1 => dead_colls
+                    .entry(flow.tag & TAG_ID_MASK)
+                    .or_default()
+                    .push(*id),
+                2 => {
+                    let rid = flow.tag & TAG_ID_MASK;
+                    if let Some(f) = self.kv_inflight.get_mut(&rid) {
+                        f.aborted_at = self.now;
+                        self.events
+                            .push(self.now + retry_delay(f.attempt), Ev::RetryKv { req: rid });
+                    }
+                }
+                _ => {} // background cross traffic: no retry semantics
+            }
+        }
+        for (coll, gone) in dead_colls {
+            let Some(mut state) = self.colls.remove(&coll) else {
+                continue;
+            };
+            state.exec.abort(&mut self.net, self.now, &gone);
+            self.release_ina(state.ina_switch);
+            self.schedule_coll_retry(state.inst, state.origin, state.attempt);
+        }
+    }
+
+    fn schedule_coll_retry(&mut self, inst: usize, origin: CollOrigin, attempt: u32) {
+        let key = self.next_coll;
+        self.next_coll += 1;
+        self.pending_coll_retry.insert(
+            key,
+            PendingRetry {
+                inst,
+                origin,
+                attempt,
+                aborted_at: self.now,
+            },
+        );
+        self.events
+            .push(self.now + retry_delay(attempt), Ev::RetryColl { key });
+    }
+
+    fn relaunch_collective(&mut self, p: PendingRetry) {
+        let retry = Some((p.attempt + 1, p.aborted_at));
+        let counted = match &p.origin {
+            CollOrigin::Group {
+                group_id,
+                group,
+                bytes,
+            } => {
+                let (group_id, group, bytes) = (*group_id, group.clone(), *bytes);
+                let ctx = CommCtx {
+                    group_id,
+                    group: &group,
+                    bytes,
+                    now: self.now,
+                    link_util: &self.util_snapshot,
+                };
+                let scheme = self.strategy.choose(&ctx);
+                self.launch_collective_inner(p.inst, group_id, &group, scheme, bytes, retry)
+            }
+            CollOrigin::PipeHops { hops } => {
+                let hops = hops.clone();
+                let plan = self.compile_pipe_plan(&hops);
+                match plan {
+                    Some(plan) => {
+                        self.launch_plan(p.inst, plan, None, CollOrigin::PipeHops { hops }, retry)
+                    }
+                    None => false,
+                }
+            }
+        };
+        if !counted {
+            // The relaunch completed instantly (degenerate plan): close
+            // out the instance's outstanding slot the abort left open.
+            self.coll_finished_for_instance(p.inst);
+        }
+    }
+
+    fn retry_kv(&mut self, req: u64) {
+        let Some(f) = self.kv_inflight.get_mut(&req) else {
+            return;
+        };
+        f.attempt += 1;
+        let (src, dst, bytes, aborted_at) = (f.src, f.dst, f.bytes, f.aborted_at);
+        self.flow_retries += 1;
+        let links = self
+            .strategy
+            .choose_path(src, dst, bytes, &self.util_snapshot)
+            .unwrap_or_else(|| self.ap.path(src, dst).directed_links(&self.g));
+        if links.is_empty() {
+            self.kv_done(RequestId(req));
+            return;
+        }
+        if links.iter().all(|&(l, _)| self.net.link_scale(l) > 0.0) {
+            self.reroute_secs
+                .push(self.now.saturating_since(aborted_at).as_secs_f64());
+        }
+        self.net.start_flow(self.now, &links, bytes, TAG_KV | req);
+    }
+
+    /// Worst GPU-stall slowdown across an instance's GPUs (1.0 healthy).
+    fn compute_slowdown(&self, inst: usize) -> f64 {
+        if self.gpu_slowdown.is_empty() {
+            return 1.0;
+        }
+        self.instances[inst]
+            .spec
+            .all_gpus()
+            .iter()
+            .map(|g| self.gpu_slowdown.get(g).copied().unwrap_or(1.0))
+            .fold(1.0, f64::max)
     }
 
     /// Draw the next background flow and schedule the one after.
@@ -338,7 +606,8 @@ impl ClusterSim {
             stats.push(r.req.input_tokens as u64, r.req.output_tokens as u64);
         }
         let spec = &self.instances[inst].spec;
-        let t_c = prefill_latency_secs(&self.cfg.coef, &self.cfg.model, &stats, spec.p_tens());
+        let t_c = prefill_latency_secs(&self.cfg.coef, &self.cfg.model, &stats, spec.p_tens())
+            * self.compute_slowdown(inst);
         self.instances[inst].batch = batch;
         self.instances[inst].phase = InstPhase::Computing;
         self.events.push(
@@ -388,7 +657,7 @@ impl ClusterSim {
                 link_util: &self.util_snapshot,
             };
             let scheme = self.strategy.choose(&ctx);
-            if self.launch_collective(inst, group, scheme, stage_bytes) {
+            if self.launch_collective_inner(inst, group_id, group, scheme, stage_bytes, None) {
                 outstanding += 1;
             }
         }
@@ -396,26 +665,15 @@ impl ClusterSim {
         // Pipeline-stage boundary transfers (Eq. 6): activations of
         // `tokens` tokens hop from each stage's leader to the next.
         if spec.p_pipe() > 1 && tokens > 0 {
-            let hop_bytes = tokens * self.cfg.model.hidden as u64
-                * self.cfg.model.precision.bytes();
-            let mut phases = Vec::new();
-            for w in spec.stages.windows(2) {
-                let from = w[0][0];
-                let to = w[1][0];
-                let links = self
-                    .strategy
-                    .choose_path(from, to, hop_bytes, &self.util_snapshot)
-                    .unwrap_or_else(|| self.ap.path(from, to).directed_links(&self.g));
-                if !links.is_empty() {
-                    phases.push(Phase {
-                        transfers: vec![(links, hop_bytes)],
-                        post_delay: SimSpan::ZERO,
-                    });
-                }
-            }
-            if !phases.is_empty() {
-                let plan = CollectivePlan { phases };
-                if self.launch_plan(inst, plan, None) {
+            let hop_bytes =
+                tokens * self.cfg.model.hidden as u64 * self.cfg.model.precision.bytes();
+            let hops: Vec<(NodeId, NodeId, u64)> = spec
+                .stages
+                .windows(2)
+                .map(|w| (w[0][0], w[1][0], hop_bytes))
+                .collect();
+            if let Some(plan) = self.compile_pipe_plan(&hops) {
+                if self.launch_plan(inst, plan, None, CollOrigin::PipeHops { hops }, None) {
                     outstanding += 1;
                 }
             }
@@ -428,26 +686,70 @@ impl ClusterSim {
         }
     }
 
+    /// Build the pipeline-hop plan, re-choosing each hop's route (the
+    /// strategy may steer around faults/hotspots; the static fallback is
+    /// the precomputed shortest path).
+    fn compile_pipe_plan(&mut self, hops: &[(NodeId, NodeId, u64)]) -> Option<CollectivePlan> {
+        let mut phases = Vec::new();
+        for &(from, to, hop_bytes) in hops {
+            let links = self
+                .strategy
+                .choose_path(from, to, hop_bytes, &self.util_snapshot)
+                .unwrap_or_else(|| self.ap.path(from, to).directed_links(&self.g));
+            if !links.is_empty() {
+                phases.push(Phase {
+                    transfers: vec![(links, hop_bytes)],
+                    post_delay: SimSpan::ZERO,
+                });
+            }
+        }
+        if phases.is_empty() {
+            None
+        } else {
+            Some(CollectivePlan { phases })
+        }
+    }
+
     /// Launch one tensor-group collective. Returns whether it counts as
-    /// outstanding (false when it completed instantly).
-    fn launch_collective(
+    /// outstanding (false when it completed instantly). `retry` carries
+    /// `(attempt, aborted_at)` when this is a post-fault relaunch.
+    fn launch_collective_inner(
         &mut self,
         inst: usize,
+        group_id: u64,
         group: &[NodeId],
         scheme: Scheme,
         bytes: u64,
+        retry: Option<(u32, SimTime)>,
     ) -> bool {
+        let origin = CollOrigin::Group {
+            group_id,
+            group: group.to_vec(),
+            bytes,
+        };
         // A hierarchical-INA scheme whose group fits in one server never
         // reaches the switch — it degenerates to NVLink reduce/broadcast
         // and must not consume switch aggregation capacity.
         let aggregates_in_network = match scheme {
             Scheme::Ina { .. } => group.len() >= 2,
-            Scheme::HierIna { .. } => {
-                hs_collective::latency::leaders(&self.g, group).len() >= 2
-            }
+            Scheme::HierIna { .. } => hs_collective::latency::leaders(&self.g, group).len() >= 2,
             _ => false,
         };
         let (scheme, ina_switch) = match scheme {
+            // A *failed* switch cannot aggregate at all: degrade to a
+            // host-side scheme and count the failover (graceful
+            // degradation, distinct from busy-switch fallback).
+            Scheme::Ina { switch } | Scheme::HierIna { switch }
+                if aggregates_in_network && self.failed_switches.contains(&switch) =>
+            {
+                self.ina_failovers += 1;
+                self.ring_ops += 1;
+                match self.strategy.busy_policy() {
+                    BusyPolicy::FallbackHierRing => (Scheme::HierRing, None),
+                    // Waiting on a dead switch would hang; degrade.
+                    BusyPolicy::FallbackRing | BusyPolicy::Wait => (Scheme::Ring, None),
+                }
+            }
             Scheme::Ina { switch } | Scheme::HierIna { switch } if aggregates_in_network => {
                 let active = self.ina_active.get(&switch).copied().unwrap_or(0);
                 if active >= self.cfg.ina_capacity_per_switch {
@@ -468,13 +770,15 @@ impl ClusterSim {
                             let plan =
                                 CollectivePlan::compile(&self.g, &self.ap, group, scheme, bytes);
                             self.ina_ops += 1;
-                            self.ina_waiting.entry(switch).or_default().push_back(
-                                WaitingColl {
+                            self.ina_waiting
+                                .entry(switch)
+                                .or_default()
+                                .push_back(WaitingColl {
                                     inst,
                                     plan,
                                     switch,
-                                },
-                            );
+                                    origin,
+                                });
                             return true;
                         }
                     }
@@ -490,17 +794,32 @@ impl ClusterSim {
             }
         };
         let plan = CollectivePlan::compile(&self.g, &self.ap, group, scheme, bytes);
-        self.launch_plan(inst, plan, ina_switch)
+        self.launch_plan(inst, plan, ina_switch, origin, retry)
     }
 
     /// Launch an arbitrary compiled plan. Returns whether it is
-    /// outstanding.
+    /// outstanding. When `retry` is set, this is a post-abort relaunch:
+    /// a plan that avoids every dead link counts as a completed reroute.
     fn launch_plan(
         &mut self,
         inst: usize,
         plan: CollectivePlan,
         ina_switch: Option<NodeId>,
+        origin: CollOrigin,
+        retry: Option<(u32, SimTime)>,
     ) -> bool {
+        let attempt = retry.map(|(a, _)| a).unwrap_or(0);
+        if let Some((_, aborted_at)) = retry {
+            let avoids_dead = plan.phases.iter().all(|ph| {
+                ph.transfers
+                    .iter()
+                    .all(|(path, _)| path.iter().all(|&(l, _)| self.net.link_scale(l) > 0.0))
+            });
+            if avoids_dead {
+                self.reroute_secs
+                    .push(self.now.saturating_since(aborted_at).as_secs_f64());
+            }
+        }
         let coll = self.next_coll;
         self.next_coll += 1;
         let mut exec = CollectiveExec::new(plan, TAG_COLL | coll);
@@ -517,6 +836,8 @@ impl ClusterSim {
                         exec,
                         inst,
                         ina_switch,
+                        origin,
+                        attempt,
                     },
                 );
                 true
@@ -528,6 +849,8 @@ impl ClusterSim {
                         exec,
                         inst,
                         ina_switch,
+                        origin,
+                        attempt,
                     },
                 );
                 self.events.push(self.now + d, Ev::CollTimer { coll });
@@ -558,7 +881,7 @@ impl ClusterSim {
         if let Some(q) = self.ina_waiting.get_mut(&sw) {
             if let Some(w) = q.pop_front() {
                 *self.ina_active.entry(sw).or_insert(0) += 1;
-                let counted = self.launch_plan(w.inst, w.plan, Some(w.switch));
+                let counted = self.launch_plan(w.inst, w.plan, Some(w.switch), w.origin, None);
                 if !counted {
                     // Instantly done (degenerate plan): close it out.
                     self.coll_finished_for_instance(w.inst);
@@ -646,7 +969,8 @@ impl ClusterSim {
         for d in 0..self.kv.len() {
             if self.kv[d].can_admit(need) {
                 let load = self.instances[self.decode_offset + d].decode_load();
-                if best.map(|b| load < self.instances[self.decode_offset + b].decode_load())
+                if best
+                    .map(|b| load < self.instances[self.decode_offset + b].decode_load())
                     .unwrap_or(true)
                 {
                     best = Some(d);
@@ -680,8 +1004,17 @@ impl ClusterSim {
         if links.is_empty() || bytes == 0 {
             self.kv_done(id);
         } else {
-            self.net
-                .start_flow(self.now, &links, bytes, TAG_KV | id.0);
+            self.kv_inflight.insert(
+                id.0,
+                KvFlight {
+                    src,
+                    dst,
+                    bytes,
+                    attempt: 0,
+                    aborted_at: SimTime::ZERO,
+                },
+            );
+            self.net.start_flow(self.now, &links, bytes, TAG_KV | id.0);
         }
     }
 
@@ -695,6 +1028,7 @@ impl ClusterSim {
     }
 
     fn kv_done(&mut self, id: RequestId) {
+        self.kv_inflight.remove(&id.0);
         let r = &mut self.reqs[id.0 as usize];
         r.phase = ReqPhase::Decoding;
         r.decode_start = Some(self.now);
@@ -727,7 +1061,7 @@ impl ClusterSim {
             &stats,
             spec.p_tens(),
             spec.p_pipe(),
-        );
+        ) * self.compute_slowdown(inst);
         self.instances[inst].phase = InstPhase::Computing;
         self.events.push(
             self.now + SimSpan::from_secs_f64(t_c),
@@ -791,6 +1125,10 @@ impl ClusterSim {
             ina_ops: self.ina_ops,
             ring_ops: self.ring_ops,
             ina_fallbacks: self.ina_fallbacks,
+            ina_failovers: self.ina_failovers,
+            aborted_flows: self.aborted_flows,
+            flow_retries: self.flow_retries,
+            mean_reroute_s: hs_workload::mean(&self.reroute_secs),
             ..SimReport::default()
         };
         for (lid, link) in self.g.links() {
@@ -800,7 +1138,21 @@ impl ClusterSim {
                 LinkKind::NvLink | LinkKind::Pcie => report.nvlink_bytes += bytes,
             }
         }
-        report.summarize(&self.reqs, self.cfg.ttft_sla_s, self.cfg.tpot_sla_s, horizon);
+        report.summarize(
+            &self.reqs,
+            self.cfg.ttft_sla_s,
+            self.cfg.tpot_sla_s,
+            horizon,
+        );
+        report.fault_window_attainment = self.cfg.faults.window().and_then(|w| {
+            SimReport::attainment_in_window(
+                &self.reqs,
+                self.cfg.ttft_sla_s,
+                self.cfg.tpot_sla_s,
+                horizon,
+                w,
+            )
+        });
         report
     }
 
@@ -832,10 +1184,15 @@ mod tests {
     use hs_workload::spec::fixed;
     use hs_workload::{Poisson, Trace};
 
-    fn small_setup(
+    fn small_setup(rate: f64, horizon_s: u64, scheme: Scheme) -> (SimReport, usize) {
+        small_setup_with_faults(rate, horizon_s, scheme, FaultPlan::none())
+    }
+
+    fn small_setup_with_faults(
         rate: f64,
         horizon_s: u64,
         scheme: Scheme,
+        faults: FaultPlan,
     ) -> (SimReport, usize) {
         let t = testbed();
         let model = ModelConfig::opt_13b();
@@ -857,6 +1214,7 @@ mod tests {
             monitor_period: SimSpan::from_millis(100),
             ina_capacity_per_switch: 4,
             background: None,
+            faults,
         };
         let mut rng = SeedSplitter::new(11).stream("trace");
         let mut arr = Poisson::new(rate);
@@ -879,7 +1237,11 @@ mod tests {
         let (report, n) = small_setup(1.0, 20, Scheme::Ring);
         assert!(n > 5);
         assert_eq!(report.completed, report.arrived, "all requests complete");
-        assert!(report.sla_attainment > 0.9, "attainment {}", report.sla_attainment);
+        assert!(
+            report.sla_attainment > 0.9,
+            "attainment {}",
+            report.sla_attainment
+        );
         assert!(report.mean_ttft_s > 0.0 && report.mean_ttft_s < 2.5);
         assert!(report.mean_tpot_s > 0.0 && report.mean_tpot_s < 0.15);
         assert_eq!(report.ina_ops, 0);
@@ -923,7 +1285,11 @@ mod tests {
             low.sla_attainment,
             high.sla_attainment
         );
-        assert!(high.sla_attainment < 0.9, "overload attainment {}", high.sla_attainment);
+        assert!(
+            high.sla_attainment < 0.9,
+            "overload attainment {}",
+            high.sla_attainment
+        );
     }
 
     #[test]
@@ -937,6 +1303,73 @@ mod tests {
         // Weights occupy a floor; KV adds on top.
         assert!(peak > 0.0, "peak mem util {peak}");
         assert!(peak <= 1.0);
+    }
+
+    #[test]
+    fn switch_outage_fails_over_and_recovers() {
+        let t = testbed();
+        let sw = t.access_switches[0];
+        // The switch dies mid-run and reboots 4 s later. INA collectives
+        // must fail over to host-side schemes; KV transfers crossing the
+        // dead links abort and retry.
+        let faults = FaultPlan::switch_outage(sw, SimTime::from_secs(5), SimTime::from_secs(9));
+        let (rep, _) = small_setup_with_faults(2.0, 20, Scheme::Ina { switch: sw }, faults);
+        assert!(rep.ina_failovers > 0, "no INA failovers recorded");
+        assert!(rep.ina_ops > 0, "INA should still run outside the outage");
+        assert_eq!(
+            rep.completed, rep.arrived,
+            "all requests must complete despite the outage"
+        );
+        assert!(rep.fault_window_attainment.is_some());
+        // The healthy-fabric run records no fault activity.
+        let (healthy, _) = small_setup(2.0, 20, Scheme::Ina { switch: sw });
+        assert_eq!(healthy.ina_failovers, 0);
+        assert_eq!(healthy.aborted_flows, 0);
+        assert_eq!(healthy.flow_retries, 0);
+        assert_eq!(healthy.fault_window_attainment, None);
+    }
+
+    #[test]
+    fn link_outage_aborts_and_retries_kv_transfers() {
+        let t = testbed();
+        // Kill every uplink of the prefill server (server 0) for 3 s so
+        // in-flight KV transfers to the decode server abort.
+        let mut faults = FaultPlan::none();
+        for &gpu in &t.gpus_by_server[0] {
+            for &(nb, l) in t.graph.neighbors(gpu) {
+                if t.access_switches.contains(&nb) {
+                    faults.push(SimTime::from_secs(6), FaultKind::LinkDown { link: l });
+                    faults.push(SimTime::from_secs(9), FaultKind::LinkUp { link: l });
+                }
+            }
+        }
+        let (rep, _) = small_setup_with_faults(4.0, 15, Scheme::Ring, faults);
+        assert!(rep.aborted_flows > 0, "no flows aborted");
+        assert!(rep.flow_retries > 0, "aborted work was not retried");
+        assert_eq!(rep.completed, rep.arrived, "requests stuck after recovery");
+    }
+
+    #[test]
+    fn gpu_stall_inflates_latency() {
+        let t = testbed();
+        let mut faults = FaultPlan::none();
+        for &gpu in &t.gpus_by_server[1] {
+            faults.push(
+                SimTime::from_secs(2),
+                FaultKind::GpuStall {
+                    gpu,
+                    slowdown: 50.0,
+                },
+            );
+        }
+        let (stalled, _) = small_setup_with_faults(2.0, 15, Scheme::Ring, faults);
+        let (healthy, _) = small_setup(2.0, 15, Scheme::Ring);
+        assert!(
+            stalled.mean_tpot_s > 2.0 * healthy.mean_tpot_s,
+            "stall {} vs healthy {}",
+            stalled.mean_tpot_s,
+            healthy.mean_tpot_s
+        );
     }
 
     #[test]

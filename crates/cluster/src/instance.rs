@@ -2,10 +2,9 @@
 
 use hs_topology::NodeId;
 use hs_workload::RequestId;
-use serde::{Deserialize, Serialize};
 
 /// Whether an instance serves the prefill or the decode phase.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InstanceKind {
     /// Compute-bound prompt processing.
     Prefill,
@@ -16,7 +15,7 @@ pub enum InstanceKind {
 /// Static placement of one model replica: `stages[s]` is the
 /// tensor-parallel GPU group of pipeline stage `s`. `P_pipe =
 /// stages.len()`, `P_tens = stages[0].len()`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InstanceSpec {
     /// Pipeline stages, each a tensor-parallel group.
     pub stages: Vec<Vec<NodeId>>,

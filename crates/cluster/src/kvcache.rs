@@ -8,10 +8,8 @@
 //! *live* token count (input + generated so far) is what Fig. 10's memory
 //! utilization reports.
 
-use serde::{Deserialize, Serialize};
-
 /// Token-granular KV memory accounting for one decode instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KvManager {
     /// Total KV token capacity.
     capacity_tokens: u64,

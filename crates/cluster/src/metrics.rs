@@ -3,10 +3,9 @@
 use crate::request::{ReqPhase, ReqState};
 use hs_des::SimTime;
 use hs_workload::stats::{fraction_where, mean, percentile};
-use serde::{Deserialize, Serialize};
 
 /// Final metrics for one request.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ReqMetrics {
     /// Request id.
     pub id: u64,
@@ -21,7 +20,7 @@ pub struct ReqMetrics {
 }
 
 /// One sample of the Fig. 10 memory time series.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MemSample {
     /// Sample time.
     pub t: SimTime,
@@ -32,7 +31,7 @@ pub struct MemSample {
 }
 
 /// The full report of one cluster simulation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Strategy name.
     pub strategy: String,
@@ -68,6 +67,50 @@ pub struct SimReport {
     pub nvlink_bytes: f64,
     /// Throughput: completed requests per second of simulated time.
     pub goodput_rps: f64,
+    /// Collectives redirected away from a *failed* INA switch (distinct
+    /// from `ina_fallbacks`, which counts busy-switch degradations).
+    pub ina_failovers: u64,
+    /// Flows aborted mid-transfer because a fault killed a link under them.
+    pub aborted_flows: u64,
+    /// Collective/KV relaunches issued after fault-induced aborts.
+    pub flow_retries: u64,
+    /// Mean seconds from a fault-induced abort to a relaunch that avoids
+    /// all dead links (time-to-reroute; 0 when no reroutes happened).
+    pub mean_reroute_s: f64,
+    /// SLA attainment over requests arriving inside the fault window
+    /// (`None` when the run had no fault plan or no evaluable requests).
+    pub fault_window_attainment: Option<f64>,
+}
+
+/// SLA verdict for one request at `horizon`: `Some(true)` pass,
+/// `Some(false)` fail, `None` still pending with all deadlines ahead
+/// (excluded from attainment — standard open-loop accounting).
+fn sla_verdict(r: &ReqState, ttft_sla: f64, tpot_sla: f64, horizon: SimTime) -> Option<bool> {
+    let ttft = r.ttft_secs();
+    let tpot = r.tpot_secs();
+    if r.phase == ReqPhase::Done {
+        return Some(
+            ttft.map(|t| t <= ttft_sla).unwrap_or(false)
+                && tpot.map(|t| t <= tpot_sla).unwrap_or(false),
+        );
+    }
+    // Unfinished: fail if the TTFT deadline has already passed without a
+    // first token, or if decoding has been running long enough that TPOT
+    // can no longer be met.
+    let overdue_prefill = r.prefill_done.is_none()
+        && horizon.saturating_since(r.req.arrival).as_secs_f64() > ttft_sla;
+    let overdue_ttft = ttft.map(|t| t > ttft_sla).unwrap_or(false);
+    // Best-case final TPOT: even if every remaining token materialized at
+    // `horizon`, the mean inter-token time would already exceed the SLA.
+    let overdue_tpot = r.req.output_tokens > 0
+        && r.prefill_done.or(r.decode_start).is_some_and(|start| {
+            horizon.saturating_since(start).as_secs_f64() / r.req.output_tokens as f64 > tpot_sla
+        });
+    if overdue_prefill || overdue_ttft || overdue_tpot {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 impl SimReport {
@@ -78,13 +121,7 @@ impl SimReport {
     /// already passed at `horizon` fails; unfinished requests still
     /// within deadline are excluded from attainment (standard open-loop
     /// accounting).
-    pub fn summarize(
-        &mut self,
-        reqs: &[ReqState],
-        ttft_sla: f64,
-        tpot_sla: f64,
-        horizon: SimTime,
-    ) {
+    pub fn summarize(&mut self, reqs: &[ReqState], ttft_sla: f64, tpot_sla: f64, horizon: SimTime) {
         let mut evaluable = Vec::new();
         let mut ttfts = Vec::new();
         let mut tpots = Vec::new();
@@ -95,23 +132,11 @@ impl SimReport {
             let completed = r.phase == ReqPhase::Done;
             let ttft = r.ttft_secs();
             let tpot = r.tpot_secs();
-            let sla_ok = if completed {
-                let ok = ttft.map(|t| t <= ttft_sla).unwrap_or(false)
-                    && tpot.map(|t| t <= tpot_sla).unwrap_or(false);
+            let verdict = sla_verdict(r, ttft_sla, tpot_sla, horizon);
+            if let Some(ok) = verdict {
                 evaluable.push(if ok { 1.0 } else { 0.0 });
-                ok
-            } else {
-                // Unfinished: fail if the TTFT deadline has already
-                // passed without a first token, or if decoding has been
-                // running long enough that TPOT can no longer be met.
-                let overdue_prefill = r.prefill_done.is_none()
-                    && horizon.saturating_since(r.req.arrival).as_secs_f64() > ttft_sla;
-                let overdue_ttft = ttft.map(|t| t > ttft_sla).unwrap_or(false);
-                if overdue_prefill || overdue_ttft {
-                    evaluable.push(0.0);
-                }
-                false
-            };
+            }
+            let sla_ok = verdict.unwrap_or(false);
             if completed {
                 self.completed += 1;
                 if let Some(t) = ttft {
@@ -141,6 +166,33 @@ impl SimReport {
             0.0
         };
     }
+
+    /// SLA attainment restricted to requests that *arrived* inside
+    /// `window` (inclusive) — the fault drill's "attainment during the
+    /// fault" figure of merit. `None` if no request in the window is
+    /// evaluable yet.
+    pub fn attainment_in_window(
+        reqs: &[ReqState],
+        ttft_sla: f64,
+        tpot_sla: f64,
+        horizon: SimTime,
+        window: (SimTime, SimTime),
+    ) -> Option<f64> {
+        let mut evaluable = Vec::new();
+        for r in reqs {
+            if r.req.arrival < window.0 || r.req.arrival > window.1 {
+                continue;
+            }
+            if let Some(ok) = sla_verdict(r, ttft_sla, tpot_sla, horizon) {
+                evaluable.push(if ok { 1.0 } else { 0.0 });
+            }
+        }
+        if evaluable.is_empty() {
+            None
+        } else {
+            Some(fraction_where(&evaluable, |x| x > 0.5))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,8 +210,10 @@ mod tests {
         r.phase = ReqPhase::Done;
         r.prefill_done = Some(SimTime::from_secs(arrival_s + ttft_s));
         r.decode_start = Some(SimTime::from_secs(arrival_s + ttft_s));
-        r.finished =
-            Some(SimTime::from_secs(arrival_s + ttft_s) + hs_des::SimSpan::from_millis(tpot_ms * out as u64));
+        r.finished = Some(
+            SimTime::from_secs(arrival_s + ttft_s)
+                + hs_des::SimSpan::from_millis(tpot_ms * out as u64),
+        );
         r.tokens_generated = out;
         r
     }
@@ -167,10 +221,10 @@ mod tests {
     #[test]
     fn attainment_counts_both_slas() {
         let reqs = vec![
-            finished(0, 0, 1, 100, 10),  // ttft 1s ok, tpot 0.1 ok
-            finished(1, 0, 5, 100, 10),  // ttft 5s > 2.5 -> fail
-            finished(2, 0, 1, 300, 10),  // tpot 0.3 > 0.15 -> fail
-            finished(3, 0, 2, 140, 10),  // ok
+            finished(0, 0, 1, 100, 10), // ttft 1s ok, tpot 0.1 ok
+            finished(1, 0, 5, 100, 10), // ttft 5s > 2.5 -> fail
+            finished(2, 0, 1, 300, 10), // tpot 0.3 > 0.15 -> fail
+            finished(3, 0, 2, 140, 10), // ok
         ];
         let mut rep = SimReport::default();
         rep.summarize(&reqs, 2.5, 0.15, SimTime::from_secs(100));
@@ -205,6 +259,63 @@ mod tests {
         assert!(!rep.per_request[0].sla_ok);
         assert!(!rep.per_request[1].sla_ok);
         assert!(rep.per_request[2].sla_ok);
+    }
+
+    /// Regression: an unfinished decode whose elapsed time already
+    /// guarantees a blown TPOT must count as an SLA failure, not be
+    /// silently excluded from attainment (which is what the old
+    /// `summarize` did — it only checked the TTFT deadline).
+    #[test]
+    fn tpot_overdue_unfinished_decode_counts_as_fail() {
+        let mut stuck = ReqState::new(Request {
+            id: RequestId(0),
+            arrival: SimTime::from_secs(0),
+            input_tokens: 100,
+            output_tokens: 10,
+        });
+        // Prefill met its deadline; decode then stalled (e.g. its KV
+        // transfer is stuck on a dead link). By t=100 the best possible
+        // final TPOT is 99/10 = 9.9 s/token >> 0.15.
+        stuck.phase = ReqPhase::Decoding;
+        stuck.prefill_done = Some(SimTime::from_secs(1));
+        stuck.decode_start = Some(SimTime::from_secs(1));
+        stuck.tokens_generated = 1;
+        let ok = finished(1, 0, 1, 100, 10);
+        let mut rep = SimReport::default();
+        rep.summarize(&[stuck.clone(), ok], 2.5, 0.15, SimTime::from_secs(100));
+        assert!(
+            !rep.per_request[0].sla_ok,
+            "TPOT-overdue decode must fail SLA"
+        );
+        assert!(
+            (rep.sla_attainment - 0.5).abs() < 1e-9,
+            "overdue decode must be evaluable (attainment = {})",
+            rep.sla_attainment
+        );
+        // Same request early in its decode window is still pending, not
+        // failed: at t=2 it could yet meet TPOT.
+        let mut rep2 = SimReport::default();
+        rep2.summarize(&[stuck], 2.5, 0.15, SimTime::from_secs(2));
+        assert!((rep2.sla_attainment - 0.0).abs() < 1e-9);
+        assert!(rep2.per_request.len() == 1 && !rep2.per_request[0].completed);
+    }
+
+    #[test]
+    fn window_attainment_filters_by_arrival() {
+        let reqs = vec![
+            finished(0, 5, 1, 100, 10),  // in window, pass
+            finished(1, 15, 5, 100, 10), // in window, fail (ttft)
+            finished(2, 50, 5, 100, 10), // outside window, fail — ignored
+        ];
+        let horizon = SimTime::from_secs(100);
+        let w = (SimTime::from_secs(0), SimTime::from_secs(20));
+        let att = SimReport::attainment_in_window(&reqs, 2.5, 0.15, horizon, w).unwrap();
+        assert!((att - 0.5).abs() < 1e-9);
+        let empty_w = (SimTime::from_secs(90), SimTime::from_secs(95));
+        assert_eq!(
+            SimReport::attainment_in_window(&reqs, 2.5, 0.15, horizon, empty_w),
+            None
+        );
     }
 
     #[test]

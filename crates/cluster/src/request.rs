@@ -2,10 +2,9 @@
 
 use hs_des::SimTime;
 use hs_workload::Request;
-use serde::{Deserialize, Serialize};
 
 /// Where a request is in the prefill→transfer→decode pipeline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReqPhase {
     /// Waiting in the global prefill queue.
     Queued,

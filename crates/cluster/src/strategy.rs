@@ -13,6 +13,7 @@ use hs_collective::Scheme;
 use hs_des::SimTime;
 use hs_simnet::DirLink;
 use hs_topology::NodeId;
+use hs_workload::FaultKind;
 
 /// Behaviour when the chosen INA switch is at its concurrent-job limit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +72,13 @@ pub trait CommStrategy {
 
     /// Periodic monitoring callback (the paper's control-plane poll loop).
     fn on_monitor(&mut self, _link_util: &[f64], _now: SimTime) {}
+
+    /// Fabric-health change notification, delivered when a scheduled
+    /// fault ([`hs_workload::FaultPlan`]) fires. Fault-oblivious
+    /// strategies (the static baselines) ignore it; HeroServe's online
+    /// scheduler invalidates cached routes and cost-table entries that
+    /// cross dead links.
+    fn on_fault(&mut self, _kind: &FaultKind, _now: SimTime) {}
 
     /// Name for reports.
     fn name(&self) -> &str;

@@ -103,7 +103,10 @@ pub fn by_server(g: &Graph, group: &[NodeId]) -> Vec<(Option<ServerId>, Vec<Node
 
 /// Per-server leaders (first member of each local group).
 pub fn leaders(g: &Graph, group: &[NodeId]) -> Vec<NodeId> {
-    by_server(g, group).into_iter().map(|(_, ms)| ms[0]).collect()
+    by_server(g, group)
+        .into_iter()
+        .map(|(_, ms)| ms[0])
+        .collect()
 }
 
 /// Latency of the intra-server phase: each server's members reduce to (or
@@ -195,14 +198,16 @@ mod tests {
         let ap = ap_for(&m);
         let bytes = 1_000_000;
         let homo_us = ina_latency(&m.graph, &m.gpus, m.core, &ap, bytes, None) * 1e6;
-        let het_us =
-            hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None) * 1e6;
+        let het_us = hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None) * 1e6;
         // Homogeneous: the slowest worker crosses 2 Ethernet hops of
         // ~80 us serialization each (store-and-forward) -> ~160 us, the
         // paper's number; streaming overlaps the return direction.
         assert!((homo_us - 161.0).abs() < 8.0, "homogeneous = {homo_us} us");
         // Heterogeneous: NVLink local reduce + 1 Ethernet hop ≈ 84-90 us.
-        assert!(het_us > 75.0 && het_us < 95.0, "heterogeneous = {het_us} us");
+        assert!(
+            het_us > 75.0 && het_us < 95.0,
+            "heterogeneous = {het_us} us"
+        );
         // The headline claim: ~43% reduction.
         let reduction = 1.0 - het_us / homo_us;
         assert!(
@@ -221,14 +226,21 @@ mod tests {
         let t = ring_latency(&m.graph, &m.gpus, &ap, bytes, None);
         // chunk = 1 MB; worst step: gn2 -> gn3 (2 Ethernet hops = 160 us);
         // 2(P-1) = 4 steps.
-        assert!((t * 1e6 - 4.0 * 162.0).abs() < 10.0, "ring = {} us", t * 1e6);
+        assert!(
+            (t * 1e6 - 4.0 * 162.0).abs() < 10.0,
+            "ring = {} us",
+            t * 1e6
+        );
     }
 
     #[test]
     fn singleton_and_pair_edges() {
         let m = fig2_micro();
         let ap = ap_for(&m);
-        assert_eq!(ring_latency(&m.graph, &m.gpus[..1], &ap, 1 << 20, None), 0.0);
+        assert_eq!(
+            ring_latency(&m.graph, &m.gpus[..1], &ap, 1 << 20, None),
+            0.0
+        );
         assert_eq!(
             ina_latency(&m.graph, &m.gpus[..1], m.access, &ap, 1 << 20, None),
             0.0

@@ -13,11 +13,10 @@ use hs_des::{SimSpan, SimTime};
 use hs_simnet::{DirLink, FlowId, SimNet};
 use hs_topology::{AllPairs, Graph, NodeId};
 use rustc_hash::FxHashSet;
-use serde::{Deserialize, Serialize};
 
 /// Which all-reduce scheme to compile (the planner's `α`/`β` selection
 /// plus HeroServe's heterogeneous variants).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scheme {
     /// Flat ring all-reduce over the group order.
     Ring,
@@ -256,6 +255,26 @@ impl CollectiveExec {
         self.enter_phase(net, now)
     }
 
+    /// Whether `id` is one of this collective's in-flight flows.
+    pub fn owns_flow(&self, id: FlowId) -> bool {
+        self.outstanding.contains(&id)
+    }
+
+    /// Abort the collective: cancel every still-outstanding flow (a fault
+    /// already removed some from the network — those are passed in
+    /// `already_gone`) and clear the in-flight set, so the engine can
+    /// recompile and retry over surviving links. Returns how many flows
+    /// were cancelled here.
+    pub fn abort(&mut self, net: &mut SimNet, now: SimTime, already_gone: &[FlowId]) -> usize {
+        let mut cancelled = 0;
+        for id in std::mem::take(&mut self.outstanding) {
+            if !already_gone.contains(&id) && net.cancel_flow(now, id).is_some() {
+                cancelled += 1;
+            }
+        }
+        cancelled
+    }
+
     /// Notify that a previously requested post-phase timer elapsed.
     pub fn on_timer(&mut self, net: &mut SimNet, now: SimTime) -> Progress {
         debug_assert!(self.outstanding.is_empty());
@@ -423,9 +442,7 @@ mod tests {
                 .map(|(links, b)| {
                     links
                         .iter()
-                        .filter(|&&(l, _)| {
-                            m.graph.link(l).kind == hs_topology::LinkKind::Ethernet
-                        })
+                        .filter(|&&(l, _)| m.graph.link(l).kind == hs_topology::LinkKind::Ethernet)
                         .count() as u64
                         * b
                 })
@@ -464,8 +481,7 @@ mod tests {
     fn executed_ring_matches_closed_form() {
         let (m, ap) = setup();
         let bytes = 3 << 20;
-        let measured =
-            run_isolated(&m.graph, &ap, &m.gpus, Scheme::Ring, bytes).as_secs_f64();
+        let measured = run_isolated(&m.graph, &ap, &m.gpus, Scheme::Ring, bytes).as_secs_f64();
         let predicted = ring_latency(&m.graph, &m.gpus, &ap, bytes, None);
         // Same rationale as the INA check: cut-through vs
         // store-and-forward bounds.
@@ -495,8 +511,7 @@ mod tests {
             hetero.as_secs_f64() < 0.75 * homo.as_secs_f64(),
             "hetero {hetero} vs homo {homo}"
         );
-        let predicted =
-            hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None);
+        let predicted = hierarchical_ina_latency(&m.graph, &m.gpus, m.access, &ap, bytes, None);
         assert!(hetero.as_secs_f64() >= predicted * 0.99);
     }
 

@@ -8,7 +8,9 @@
 //! scheme composes local reduction with either. Tests assert all three
 //! agree within fixed-point quantization tolerance.
 
-use hs_switch::{AggMode, DataplaneAction, FixPoint, InaDataplane, InaPacket, JobConfig, JobId, WorkerId};
+use hs_switch::{
+    AggMode, DataplaneAction, FixPoint, InaDataplane, InaPacket, JobConfig, JobId, WorkerId,
+};
 
 /// Reference: element-wise sum of all workers' vectors.
 pub fn reference_sum(data: &[Vec<f32>]) -> Vec<f32> {

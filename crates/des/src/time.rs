@@ -4,16 +4,15 @@
 //! produced by different components (network flows, batch iterations, policy
 //! ticks) are totally ordered without floating-point comparisons.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant on the simulation clock, in nanoseconds since simulation start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A non-negative duration on the simulation clock, in nanoseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimSpan(u64);
 
 impl SimTime {
@@ -335,7 +334,10 @@ mod tests {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
         assert_eq!(SimSpan::from_secs_f64(-0.5), SimSpan::ZERO);
-        assert_eq!(SimSpan::from_secs_f64(f64::INFINITY), SimSpan::ZERO.saturating_add(SimSpan::ZERO));
+        assert_eq!(
+            SimSpan::from_secs_f64(f64::INFINITY),
+            SimSpan::ZERO.saturating_add(SimSpan::ZERO)
+        );
     }
 
     #[test]

@@ -15,17 +15,16 @@
 //!    iterations").
 
 use crate::spec::GroupScheme;
+use hs_collective::latency::path_transfer_secs;
 use hs_collective::{
     hierarchical_ina_latency, hierarchical_ring_latency, ina_latency, ring_latency, Scheme,
 };
-use hs_collective::latency::path_transfer_secs;
 use hs_topology::{AllPairs, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which communication schemes a planner may assign (per system).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchemeSpace {
     /// Flat ring only — the DistServe baseline.
     RingOnly,
@@ -98,8 +97,14 @@ pub fn constrained_kmeans(
             .iter()
             .filter(|n| !medoids.contains(n))
             .max_by(|&&a, &&b| {
-                let da = medoids.iter().map(|&m| ap.dist(a, m)).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| ap.dist(b, m)).fold(f64::INFINITY, f64::min);
+                let da = medoids
+                    .iter()
+                    .map(|&m| ap.dist(a, m))
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| ap.dist(b, m))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| b.cmp(&a))
@@ -205,22 +210,25 @@ pub fn get_latency(
     let mut candidates: Vec<(Scheme, f64)> = Vec::new();
     match space {
         SchemeSpace::RingOnly => {
-            candidates.push((Scheme::Ring, ring_latency(graph, group, ap, bytes, Some(avail))));
+            candidates.push((
+                Scheme::Ring,
+                ring_latency(graph, group, ap, bytes, Some(avail)),
+            ));
         }
         SchemeSpace::InaOnly => {
             // SwitchML/ATP replace the *Ethernet* collective; a group
             // confined to one server still all-reduces over NVLink
             // (NCCL), exactly as their DistServe integrations would.
-            let single_server = group
-                .windows(2)
-                .all(|w| graph.same_server(w[0], w[1]));
+            let single_server = group.windows(2).all(|w| graph.same_server(w[0], w[1]));
             match switch {
                 Some(sw) if !single_server => candidates.push((
                     Scheme::Ina { switch: sw },
                     ina_latency(graph, group, sw, ap, bytes, Some(avail)),
                 )),
-                _ => candidates
-                    .push((Scheme::Ring, ring_latency(graph, group, ap, bytes, Some(avail)))),
+                _ => candidates.push((
+                    Scheme::Ring,
+                    ring_latency(graph, group, ap, bytes, Some(avail)),
+                )),
             }
         }
         SchemeSpace::Hybrid => {
@@ -228,7 +236,10 @@ pub fn get_latency(
                 Scheme::HierRing,
                 hierarchical_ring_latency(graph, group, ap, bytes, Some(avail)),
             ));
-            candidates.push((Scheme::Ring, ring_latency(graph, group, ap, bytes, Some(avail))));
+            candidates.push((
+                Scheme::Ring,
+                ring_latency(graph, group, ap, bytes, Some(avail)),
+            ));
             if let Some(sw) = switch {
                 candidates.push((
                     Scheme::HierIna { switch: sw },
@@ -292,7 +303,15 @@ pub fn estimate_network_latency(input: &NetestInput<'_>, rng: &mut SmallRng) -> 
 
     // Steps 2-3: per-group scheme + latency.
     let latency_of = |group: &[NodeId]| -> (Scheme, f64) {
-        get_latency(graph, ap, avail, group, ina_switches, sync_bytes, scheme_space)
+        get_latency(
+            graph,
+            ap,
+            avail,
+            group,
+            ina_switches,
+            sync_bytes,
+            scheme_space,
+        )
     };
     let mut lat: Vec<(Scheme, f64)> = groups.iter().map(|g| latency_of(g)).collect();
 
@@ -494,7 +513,11 @@ mod tests {
         assert!(est.t_n > 0.0 && est.t_n.is_finite());
         // The paper reports convergence within ~5 iterations; allow a
         // margin but catch pathological oscillation.
-        assert!(est.perturb_iters <= 8, "perturb iters = {}", est.perturb_iters);
+        assert!(
+            est.perturb_iters <= 8,
+            "perturb iters = {}",
+            est.perturb_iters
+        );
         // t_n covers at least the slowest single group.
         let max_group = est
             .schemes

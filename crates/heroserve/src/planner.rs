@@ -20,8 +20,8 @@
 //! (documented in EXPERIMENTS.md; at the knee `1/T_req` and capacity
 //! coincide).
 
-use crate::netest::{estimate_network_latency, NetEstimate, NetestInput};
 pub use crate::netest::SchemeSpace;
+use crate::netest::{estimate_network_latency, NetEstimate, NetestInput};
 use crate::queueing::pk_queue_delay;
 use crate::spec::{ClusterPlan, PlannerInput};
 use hs_cluster::InstanceSpec;
@@ -30,7 +30,6 @@ use hs_des::SeedSplitter;
 use hs_model::{decode_latency_secs, prefill_latency_secs, MemoryModel};
 use hs_topology::{AllPairs, LinkWeight, NodeId};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Planner failure modes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,7 +54,7 @@ impl std::fmt::Display for PlannerError {
 impl std::error::Error for PlannerError {}
 
 /// Solve diagnostics (planner-cost experiments).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SolveStats {
     /// Candidate `(P_tens, P_pipe)` pairs examined per cluster.
     pub candidates_examined: usize,
@@ -70,7 +69,7 @@ pub struct SolveStats {
 }
 
 /// The planner's decision (Table II).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlannerOutput {
     /// Prefill cluster plan.
     pub prefill: ClusterPlan,
@@ -123,8 +122,7 @@ fn gen_tp_pp_candidates(
                     continue;
                 }
             }
-            let m_req =
-                MemoryModel::required_bytes(&input.model, p_tens, p_pipe, input.r_frac);
+            let m_req = MemoryModel::required_bytes(&input.model, p_tens, p_pipe, input.r_frac);
             let eligible: Vec<NodeId> = gpus
                 .iter()
                 .filter(|g| input.gpu_free_memory.get(g).copied().unwrap_or(0) >= m_req)
@@ -175,12 +173,9 @@ fn evaluate_cluster(
                 input.batch.q as u64
             };
             let sync_bytes = input.model.sync_bytes_total(tokens) / p_pipe.max(1) as u64;
-            let pipe_bytes =
-                tokens * input.model.hidden as u64 * input.model.precision.bytes();
-            let mut rng = seeds.indexed_stream(
-                if is_prefill { "prefill" } else { "decode" },
-                ci as u64,
-            );
+            let pipe_bytes = tokens * input.model.hidden as u64 * input.model.precision.bytes();
+            let mut rng =
+                seeds.indexed_stream(if is_prefill { "prefill" } else { "decode" }, ci as u64);
             let net = estimate_network_latency(
                 &NetestInput {
                     graph: &input.graph,
@@ -343,11 +338,18 @@ pub fn plan(input: &PlannerInput, space: SchemeSpace) -> Result<PlannerOutput, P
             // produces Q tokens per iteration and a request needs
             // mean_out of them.
             let prefill_rate = pre.replicas as f64 * q / t_pre.max(1e-9);
-            let decode_rate =
-                dec.replicas as f64 * q / ((dec.t_c + dec.t_n).max(1e-9) * mean_out);
+            let decode_rate = dec.replicas as f64 * q / ((dec.t_c + dec.t_n).max(1e-9) * mean_out);
             let h = prefill_rate.min(decode_rate);
             if best.as_ref().map(|(bh, ..)| h > *bh).unwrap_or(true) {
-                best = Some((h, pre, dec, t_f, t_pre, t_dec, prefill_rate.min(decode_rate)));
+                best = Some((
+                    h,
+                    pre,
+                    dec,
+                    t_f,
+                    t_pre,
+                    t_dec,
+                    prefill_rate.min(decode_rate),
+                ));
             }
         }
     }

@@ -9,8 +9,8 @@
 //! links precisely.
 
 use hs_collective::{
-    hierarchical_ina_latency, hierarchical_ring_latency, ina_latency, ring_latency,
-    CollectivePlan, Scheme,
+    hierarchical_ina_latency, hierarchical_ring_latency, ina_latency, ring_latency, CollectivePlan,
+    Scheme,
 };
 use hs_topology::{AllPairs, Graph, LinkId, NodeId};
 
@@ -39,7 +39,11 @@ fn plan_links(plan: &CollectivePlan) -> Vec<LinkId> {
     let mut links: Vec<LinkId> = plan
         .phases
         .iter()
-        .flat_map(|p| p.transfers.iter().flat_map(|(ls, _)| ls.iter().map(|&(l, _)| l)))
+        .flat_map(|p| {
+            p.transfers
+                .iter()
+                .flat_map(|(ls, _)| ls.iter().map(|&(l, _)| l))
+        })
         .collect();
     links.sort_unstable();
     links.dedup();
@@ -91,9 +95,7 @@ pub fn build_policies(
         }
         let max_link_secs_per_byte = per_dir
             .iter()
-            .map(|(&(l, _), &bytes)| {
-                (bytes as f64 / PROBE as f64) * 8.0 / g.link(l).capacity_bps
-            })
+            .map(|(&(l, _), &bytes)| (bytes as f64 / PROBE as f64) * 8.0 / g.link(l).capacity_bps)
             .fold(0.0f64, f64::max);
         policies.push(Policy {
             scheme,

@@ -21,9 +21,10 @@ use crate::policy::{build_policies, Policy};
 use hs_cluster::{BusyPolicy, CommCtx, CommStrategy};
 use hs_collective::Scheme;
 use hs_des::SimTime;
-use hs_topology::routing::k_shortest_paths;
-use hs_topology::{AllPairs, Graph, LinkWeight, NodeId};
-use rustc_hash::FxHashMap;
+use hs_topology::routing::k_shortest_paths_avoiding;
+use hs_topology::{AllPairs, Graph, LinkId, LinkWeight, NodeId};
+use hs_workload::FaultKind;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Tunables of the online scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -88,18 +89,21 @@ impl PolicyTable {
     /// tie-broken by idle-fabric latency (the offline planner's scheme
     /// preference, so the hybrid choice degrades gracefully to "fastest
     /// scheme" when nothing is loaded).
-    fn select(&self, bytes: u64, t_u: f64) -> usize {
+    /// Policies crossing a dead link are infinite-cost — skipped outright
+    /// so Eq. 16 routes around faults. `None` iff every candidate is dead.
+    fn select(&self, bytes: u64, t_u: f64, dead: &FxHashSet<LinkId>) -> Option<usize> {
         const QUANTUM: f64 = 0.10;
-        let mut best = 0;
+        let mut best = None;
         let mut best_key = (usize::MAX, f64::INFINITY);
         for (i, p) in self.policies.iter().enumerate() {
+            if !dead.is_empty() && p.links.iter().any(|l| dead.contains(l)) {
+                continue;
+            }
             let j = self.b[i] + delta(p, bytes, t_u);
             let key = ((j / QUANTUM) as usize, p.base_latency_s);
-            if key.0 < best_key.0
-                || (key.0 == best_key.0 && key.1 < best_key.1)
-            {
+            if best.is_none() || key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
                 best_key = key;
-                best = i;
+                best = Some(i);
             }
         }
         best
@@ -188,6 +192,9 @@ pub struct HeroScheduler {
     /// Cached alternative routes per endpoint pair (Yen's k-shortest),
     /// for the point-to-point path policies of Fig. 5.
     route_cache: FxHashMap<(NodeId, NodeId), Vec<Vec<hs_simnet::DirLink>>>,
+    /// Links currently out of service (fault notifications). Policies and
+    /// routes crossing them are treated as infinite-cost.
+    dead_links: FxHashSet<LinkId>,
 }
 
 impl HeroScheduler {
@@ -204,7 +211,25 @@ impl HeroScheduler {
             tables: FxHashMap::default(),
             link_util,
             route_cache: FxHashMap::default(),
+            dead_links: FxHashSet::default(),
         }
+    }
+
+    /// Drop every cached point-to-point route (forces recomputation under
+    /// the current dead-link set).
+    pub fn invalidate_routes(&mut self) {
+        self.route_cache.clear();
+    }
+
+    /// Drop cached routes that traverse any of `links` (targeted
+    /// invalidation when a fault takes specific links down). Entries
+    /// left with no surviving alternative are removed entirely so the
+    /// next lookup recomputes them avoiding the dead set.
+    pub fn invalidate_routes_touching(&mut self, links: &[LinkId]) {
+        self.route_cache.retain(|_, routes| {
+            routes.retain(|r| !r.iter().any(|(l, _)| links.contains(l)));
+            !routes.is_empty()
+        });
     }
 
     /// How many times each policy of `group_id` has been selected
@@ -240,10 +265,18 @@ impl HeroScheduler {
 impl CommStrategy for HeroScheduler {
     fn choose(&mut self, ctx: &CommCtx<'_>) -> Scheme {
         let t_u = self.params.t_u_s;
-        let Some(table) = self.table_for(ctx.group_id, ctx.group) else {
+        if self.table_for(ctx.group_id, ctx.group).is_none() {
             return Scheme::Ring; // degenerate group
+        }
+        let table = self
+            .tables
+            .get_mut(&ctx.group_id)
+            .expect("table just built");
+        let Some(chosen) = table.select(ctx.bytes, t_u, &self.dead_links) else {
+            // Every candidate crosses a dead link: degrade to the plain
+            // host-side ring and let retries ride out the fault.
+            return Scheme::Ring;
         };
-        let chosen = table.select(ctx.bytes, t_u);
         table.charge(chosen, ctx.bytes, t_u);
         table.policies[chosen].scheme
     }
@@ -268,8 +301,9 @@ impl CommStrategy for HeroScheduler {
             return None;
         }
         let graph = &self.graph;
+        let dead = &self.dead_links;
         let routes = self.route_cache.entry((src, dst)).or_insert_with(|| {
-            k_shortest_paths(graph, src, dst, 3, LinkWeight::Latency, None)
+            k_shortest_paths_avoiding(graph, src, dst, 3, LinkWeight::Latency, None, dead)
                 .into_iter()
                 // Alternatives more than ~2 hops longer than the best are
                 // never worth the detour for bulk transfers.
@@ -281,6 +315,11 @@ impl CommStrategy for HeroScheduler {
                 .flatten()
                 .collect()
         });
+        // Cached entries are invalidated on faults, but filter defensively
+        // in case a route slipped through between notifications.
+        if !dead.is_empty() {
+            routes.retain(|r| !r.iter().any(|(l, _)| dead.contains(l)));
+        }
         if routes.is_empty() {
             return None;
         }
@@ -311,6 +350,49 @@ impl CommStrategy for HeroScheduler {
         }
     }
 
+    /// React to fabric faults: track the dead-link set (Eq. 16 treats
+    /// policies crossing it as infinite-cost) and invalidate the affected
+    /// route-cache entries so point-to-point traffic re-routes.
+    fn on_fault(&mut self, kind: &FaultKind, _now: SimTime) {
+        match *kind {
+            FaultKind::LinkDown { link } => {
+                self.dead_links.insert(link);
+                self.invalidate_routes_touching(&[link]);
+            }
+            FaultKind::LinkDegrade { link, factor } if factor <= 0.0 => {
+                self.dead_links.insert(link);
+                self.invalidate_routes_touching(&[link]);
+            }
+            FaultKind::LinkUp { link } => {
+                self.dead_links.remove(&link);
+                // Restored capacity may beat the detours chosen during the
+                // outage; recompute everything.
+                self.invalidate_routes();
+            }
+            FaultKind::SwitchFail { switch } => {
+                let adjacent: Vec<LinkId> = self
+                    .graph
+                    .neighbors(switch)
+                    .iter()
+                    .map(|&(_, l)| l)
+                    .collect();
+                self.dead_links.extend(adjacent.iter().copied());
+                self.invalidate_routes_touching(&adjacent);
+            }
+            FaultKind::SwitchRecover { switch } => {
+                for &(_, l) in self.graph.neighbors(switch) {
+                    self.dead_links.remove(&l);
+                }
+                self.invalidate_routes();
+            }
+            // Degrades short of outage and compute faults don't change
+            // reachability; the monitor loop absorbs them via link_util.
+            FaultKind::LinkDegrade { .. }
+            | FaultKind::GpuStall { .. }
+            | FaultKind::GpuRecover { .. } => {}
+        }
+    }
+
     fn name(&self) -> &str {
         "HeroServe"
     }
@@ -322,7 +404,11 @@ mod tests {
     use hs_topology::builders::testbed;
     use hs_topology::LinkWeight;
 
-    fn scheduler() -> (HeroScheduler, Vec<NodeId>, hs_topology::builders::BuiltTopology) {
+    fn scheduler() -> (
+        HeroScheduler,
+        Vec<NodeId>,
+        hs_topology::builders::BuiltTopology,
+    ) {
         let t = testbed();
         let mut nodes = t.all_gpus();
         nodes.extend(&t.access_switches);
@@ -417,6 +503,56 @@ mod tests {
         let lone = vec![t.gpus_by_server[0][0]];
         let util = vec![];
         assert_eq!(s.choose(&ctx(&lone, &util, 1024)), Scheme::Ring);
+    }
+
+    #[test]
+    fn switch_failure_steers_policies_and_routes() {
+        let (mut s, group, t) = scheduler();
+        let idle = vec![0.0; t.graph.link_count()];
+        let first = s.choose(&ctx(&group, &idle, 1 << 20));
+        let Scheme::HierIna { switch } = first else {
+            panic!("expected HierIna first, got {first:?}")
+        };
+
+        // Warm the route cache across the fabric, then fail the favored
+        // switch: every subsequent scheme and route must avoid it.
+        let src = t.gpus_by_server[0][0];
+        let dst = t.gpus_by_server[1][0];
+        assert!(s.choose_path(src, dst, 1 << 20, &idle).is_some());
+
+        s.on_fault(&FaultKind::SwitchFail { switch }, SimTime::ZERO);
+        assert!(!s.dead_links.is_empty());
+
+        for _ in 0..20 {
+            let scheme = s.choose(&ctx(&group, &idle, 1 << 20));
+            match scheme {
+                Scheme::Ina { switch: sw } | Scheme::HierIna { switch: sw } => {
+                    assert_ne!(sw, switch, "picked the failed switch: {scheme:?}");
+                }
+                _ => {}
+            }
+        }
+        let route = s
+            .choose_path(src, dst, 1 << 20, &idle)
+            .expect("testbed is cross-connected; an alternative route exists");
+        for (l, _) in &route {
+            assert!(
+                !s.dead_links.contains(l),
+                "route crosses a dead link adjacent to the failed switch"
+            );
+        }
+
+        // Recovery clears the dead set and the INA policies come back.
+        s.on_fault(&FaultKind::SwitchRecover { switch }, SimTime::ZERO);
+        assert!(s.dead_links.is_empty());
+        let back = s.choose(&ctx(&group, &idle, 1 << 20));
+        assert!(
+            matches!(
+                back,
+                Scheme::Ina { .. } | Scheme::HierIna { .. } | Scheme::HierRing
+            ),
+            "post-recovery pick should leave plain ring behind, got {back:?}"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! The planner's input and output records (Tables I and II).
 
-use hs_collective::Scheme;
 use hs_cluster::InstanceSpec;
+use hs_collective::Scheme;
 use hs_model::{BatchStats, CostCoefficients, ModelConfig};
 use hs_topology::{Graph, NodeId};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Table I — everything the offline planner consumes.
 #[derive(Clone)]
@@ -132,7 +131,7 @@ impl PlannerInput {
 
 /// One tensor-parallel group's communication assignment (`α`/`β` plus its
 /// aggregation switch `V_ina` and implied paths `P(k,a)`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GroupScheme {
     /// The group's GPUs.
     pub group: Vec<NodeId>,
@@ -144,7 +143,7 @@ pub struct GroupScheme {
 }
 
 /// The plan for one cluster (prefill or decode).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterPlan {
     /// Tensor-parallel degree.
     pub p_tens: u32,

@@ -14,7 +14,7 @@ use hs_model::profile::{fit, ProfileGrid};
 use hs_model::{BatchStats, CostCoefficients, GpuModel, ModelConfig};
 use hs_topology::builders::BuiltTopology;
 use hs_topology::{AllPairs, LinkWeight, NodeId};
-use hs_workload::{Poisson, Trace, WorkloadSpec};
+use hs_workload::{FaultPlan, Poisson, Trace, WorkloadSpec};
 
 /// A planned HeroServe deployment, ready to serve traces.
 pub struct HeroServe {
@@ -34,6 +34,8 @@ pub struct HeroServe {
     pub ina_capacity_per_switch: usize,
     /// Bursty background cross traffic `(flows/s, bytes)`.
     pub background: Option<(f64, u64)>,
+    /// Scheduled fabric faults injected during serving.
+    pub faults: FaultPlan,
 }
 
 /// Default profiling-based coefficient fit for a topology's dominant GPU.
@@ -78,6 +80,7 @@ impl HeroServe {
             sched_params: SchedulerParams::default(),
             ina_capacity_per_switch: 8,
             background: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -98,7 +101,15 @@ impl HeroServe {
             sched_params: SchedulerParams::default(),
             ina_capacity_per_switch: 8,
             background: None,
+            faults: FaultPlan::none(),
         })
+    }
+
+    /// Inject a fault schedule into subsequent `serve` calls (builder
+    /// style, for the fault drills and benches).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// All-pairs structures covering the planned GPUs and INA switches.
@@ -131,6 +142,7 @@ impl HeroServe {
             monitor_period: SimSpan::from_millis(50),
             ina_capacity_per_switch: self.ina_capacity_per_switch,
             background: self.background,
+            faults: self.faults.clone(),
         }
     }
 
@@ -175,8 +187,8 @@ mod tests {
         let workload = hs_workload::sharegpt_like();
         // OPT-66B genuinely needs multi-GPU tensor groups on 32-40 GB
         // GPUs, so the communication path is exercised for real.
-        let hs = HeroServe::plan(&topo, &ModelConfig::opt_66b(), &workload, 0.5)
-            .expect("feasible plan");
+        let hs =
+            HeroServe::plan(&topo, &ModelConfig::opt_66b(), &workload, 0.5).expect("feasible plan");
         assert!(hs.output.est_h_rps > 0.0);
         assert!(hs.output.prefill.p_tens * hs.output.prefill.p_pipe >= 4);
         let report = hs.serve_trace(7, 0.5, SimTime::from_secs(10));
@@ -184,7 +196,10 @@ mod tests {
         assert!(report.completed > 0);
         assert_eq!(report.strategy, "HeroServe");
         // Tensor-parallel collectives actually ran.
-        assert!(report.ina_ops + report.ring_ops > 0, "no collectives recorded");
+        assert!(
+            report.ina_ops + report.ring_ops > 0,
+            "no collectives recorded"
+        );
         assert!(report.nvlink_bytes > 0.0, "heterogeneous path unused");
     }
 

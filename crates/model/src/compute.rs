@@ -14,10 +14,9 @@
 //! [`crate::profile`] produces the coefficients.
 
 use crate::config::{BatchStats, ModelConfig};
-use serde::{Deserialize, Serialize};
 
 /// The six fitted coefficients of Eqs. 12–13.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostCoefficients {
     /// Linear GEMM term of prefill (s per FLOP-ish unit).
     pub c1: f64,
@@ -52,7 +51,12 @@ impl CostCoefficients {
 
 /// The two prefill regression features of Eq. 12 (GEMM term, attention
 /// term) for a given shape/batch/parallelism, *before* applying `C1, C2`.
-pub fn prefill_features(model: &ModelConfig, batch: &BatchStats, p_tens: u32, block: f64) -> [f64; 2] {
+pub fn prefill_features(
+    model: &ModelConfig,
+    batch: &BatchStats,
+    p_tens: u32,
+    block: f64,
+) -> [f64; 2] {
     let h = model.hidden as f64;
     let m = model.ffn as f64;
     let l = model.layers as f64;
@@ -63,7 +67,12 @@ pub fn prefill_features(model: &ModelConfig, batch: &BatchStats, p_tens: u32, bl
 }
 
 /// The two decode regression features of Eq. 13.
-pub fn decode_features(model: &ModelConfig, batch: &BatchStats, p_tens: u32, p_pipe: u32) -> [f64; 2] {
+pub fn decode_features(
+    model: &ModelConfig,
+    batch: &BatchStats,
+    p_tens: u32,
+    p_pipe: u32,
+) -> [f64; 2] {
     let h = model.hidden as f64;
     let m = model.ffn as f64;
     let l = model.layers as f64;
@@ -102,7 +111,14 @@ mod tests {
 
     fn coef() -> CostCoefficients {
         // Roughly 1/(170 TFLOPS effective) per FLOP for the GEMM terms.
-        CostCoefficients::with_block(2.0 / 170e12, 2.0 / 170e12, 2e-3, 2.0 / 170e12, 4.0 / 1.2e12, 3e-3)
+        CostCoefficients::with_block(
+            2.0 / 170e12,
+            2.0 / 170e12,
+            2e-3,
+            2.0 / 170e12,
+            4.0 / 1.2e12,
+            3e-3,
+        )
     }
 
     #[test]

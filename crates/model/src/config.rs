@@ -1,9 +1,7 @@
 //! Transformer model shapes and batch statistics (Table I inputs).
 
-use serde::{Deserialize, Serialize};
-
 /// Numeric precision of weights/activations on the wire and in memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Precision {
     /// 16-bit floats (the paper's setting for all experiments).
     Fp16,
@@ -22,7 +20,7 @@ impl Precision {
 }
 
 /// A decoder-only transformer's shape parameters.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelConfig {
     /// Human-readable name.
     pub name: String,
@@ -138,8 +136,7 @@ impl ModelConfig {
     /// FLOPs to decode one token for one sequence of current length
     /// `ctx`: `2 · params` plus attention over the cached context.
     pub fn decode_flops(&self, ctx: u64) -> f64 {
-        2.0 * self.param_count() as f64
-            + 4.0 * self.hidden as f64 * self.layers as f64 * ctx as f64
+        2.0 * self.param_count() as f64 + 4.0 * self.hidden as f64 * self.layers as f64 * ctx as f64
     }
 
     /// Bytes of tensor-parallel synchronization per layer per token for
@@ -159,7 +156,7 @@ impl ModelConfig {
 /// Aggregate statistics of a batch of requests (Table I: `Q`, `K_in`,
 /// `K_out`, `K_in2`), maintained by the online scheduler via moving
 /// averages (§III-B).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BatchStats {
     /// Batch size `Q`.
     pub q: u32,

@@ -9,10 +9,9 @@
 //! published spec sheets.
 
 use crate::config::{BatchStats, ModelConfig};
-use serde::{Deserialize, Serialize};
 
 /// A roofline GPU.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuModel {
     /// Name ("A100-40G", ...).
     pub name: String,

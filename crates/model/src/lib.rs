@@ -27,7 +27,7 @@ pub mod gpu;
 pub mod memory;
 pub mod profile;
 
-pub use compute::{CostCoefficients, decode_latency_secs, prefill_latency_secs};
+pub use compute::{decode_latency_secs, prefill_latency_secs, CostCoefficients};
 pub use config::{BatchStats, ModelConfig, Precision};
 pub use gpu::GpuModel;
 pub use memory::MemoryModel;

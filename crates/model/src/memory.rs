@@ -7,10 +7,9 @@
 //! can hold (Fig. 10's metric).
 
 use crate::config::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 /// Memory accounting for one parallel configuration of a model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MemoryModel {
     /// Per-GPU weight shard, bytes.
     pub weight_shard_bytes: u64,

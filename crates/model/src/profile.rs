@@ -11,10 +11,9 @@ use crate::compute::{decode_features, prefill_features, CostCoefficients};
 use crate::config::{BatchStats, ModelConfig};
 use crate::fit::{least_squares, r_squared};
 use crate::gpu::GpuModel;
-use serde::{Deserialize, Serialize};
 
 /// A fitted cost model with goodness-of-fit diagnostics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FittedModel {
     /// The fitted coefficients (Eqs. 12–13).
     pub coefficients: CostCoefficients,

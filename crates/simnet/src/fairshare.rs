@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn weights_bias_shares() {
-        let paths = vec![vec![0], vec![0]];
+        let paths = [vec![0], vec![0]];
         let flows = vec![
             FlowDemand {
                 links: &paths[0],
@@ -199,12 +199,11 @@ mod proptests {
         (2usize..8).prop_flat_map(|n_links| {
             let caps = proptest::collection::vec(1.0f64..1000.0, n_links..=n_links);
             let paths = proptest::collection::vec(
-                proptest::collection::hash_set(0..n_links, 1..=n_links.min(4))
-                    .prop_map(|s| {
-                        let mut v: Vec<usize> = s.into_iter().collect();
-                        v.sort_unstable();
-                        v
-                    }),
+                proptest::collection::hash_set(0..n_links, 1..=n_links.min(4)).prop_map(|s| {
+                    let mut v: Vec<usize> = s.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                }),
                 1..12,
             );
             (caps, paths)

@@ -56,8 +56,11 @@ pub struct Flow {
 /// Flow-level network state over a fixed topology.
 pub struct SimNet {
     /// Per-link capacity (each *direction* gets the full capacity:
-    /// full-duplex links).
+    /// full-duplex links). Current, i.e. after fault scaling.
     capacities: Vec<f64>,
+    /// Nominal per-link capacity; `capacities[i] = base_capacities[i] *
+    /// scale` where scale is set by [`SimNet::set_link_scale`].
+    base_capacities: Vec<f64>,
     link_latency_ns: Vec<u64>,
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
@@ -77,6 +80,7 @@ impl SimNet {
         let link_latency_ns = graph.links().map(|(_, l)| l.latency_ns).collect();
         let n = capacities.len();
         SimNet {
+            base_capacities: capacities.clone(),
             capacities,
             link_latency_ns,
             flows: BTreeMap::new(),
@@ -118,7 +122,10 @@ impl SimNet {
         self.progress_to(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        let prop_ns: u64 = path.iter().map(|&(l, _)| self.link_latency_ns[l.idx()]).sum();
+        let prop_ns: u64 = path
+            .iter()
+            .map(|&(l, _)| self.link_latency_ns[l.idx()])
+            .sum();
         let prop = SimSpan::from_nanos(prop_ns);
         self.flows.insert(
             id,
@@ -209,7 +216,7 @@ impl SimNet {
         self.recompute_rates_if_dirty();
         let fwd = self.link_rate[l.idx() * 2];
         let rev = self.link_rate[l.idx() * 2 + 1];
-        (fwd.max(rev) / self.capacities[l.idx()]).clamp(0.0, 1.0)
+        Self::util(fwd.max(rev), self.capacities[l.idx()])
     }
 
     /// Snapshot of all link utilizations (busier direction per link).
@@ -217,10 +224,23 @@ impl SimNet {
         self.recompute_rates_if_dirty();
         (0..self.capacities.len())
             .map(|i| {
-                (self.link_rate[i * 2].max(self.link_rate[i * 2 + 1]) / self.capacities[i])
-                    .clamp(0.0, 1.0)
+                Self::util(
+                    self.link_rate[i * 2].max(self.link_rate[i * 2 + 1]),
+                    self.capacities[i],
+                )
             })
             .collect()
+    }
+
+    /// Rate-over-capacity in `[0, 1]`; a dead link reads as fully busy so
+    /// utilization-driven schedulers steer away from it.
+    #[inline]
+    fn util(rate: f64, capacity: f64) -> f64 {
+        if capacity <= 0.0 {
+            1.0
+        } else {
+            (rate / capacity).clamp(0.0, 1.0)
+        }
     }
 
     /// Residual bandwidth `B(e) = C(e) - allocated` per link, bits/s
@@ -229,8 +249,7 @@ impl SimNet {
         self.recompute_rates_if_dirty();
         (0..self.capacities.len())
             .map(|i| {
-                (self.capacities[i] - self.link_rate[i * 2].max(self.link_rate[i * 2 + 1]))
-                    .max(0.0)
+                (self.capacities[i] - self.link_rate[i * 2].max(self.link_rate[i * 2 + 1])).max(0.0)
             })
             .collect()
     }
@@ -246,9 +265,51 @@ impl SimNet {
         self.cum_bytes[l.idx() * 2 + forward as usize]
     }
 
-    /// Link capacities (bits/s).
+    /// Link capacities (bits/s), after any fault scaling.
     pub fn capacities(&self) -> &[f64] {
         &self.capacities
+    }
+
+    /// Current capacity scale of a link: `1.0` healthy, `0.0` dead.
+    pub fn link_scale(&self, l: LinkId) -> f64 {
+        let base = self.base_capacities[l.idx()];
+        if base <= 0.0 {
+            return 1.0;
+        }
+        self.capacities[l.idx()] / base
+    }
+
+    /// Set a link's capacity to `factor` of nominal at time `now` (a
+    /// fault when `factor < 1`, a recovery when it returns to `1.0`).
+    ///
+    /// Surviving flows are re-rated max-min fairly at the next query.
+    /// When `factor` is zero the link is dead: every flow crossing it
+    /// (either direction) is aborted and returned, with its progress
+    /// accrued up to `now`, so the caller can retry over another route.
+    /// Flows *started* across a dead link later are not rejected — they
+    /// simply stall at rate 0 until the link recovers, which is how a
+    /// fault-oblivious baseline behaves.
+    pub fn set_link_scale(&mut self, now: SimTime, l: LinkId, factor: f64) -> Vec<(FlowId, Flow)> {
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "link scale must be in [0, 1], got {factor}"
+        );
+        self.progress_to(now);
+        self.capacities[l.idx()] = self.base_capacities[l.idx()] * factor;
+        self.rates_dirty = true;
+        if factor > 0.0 {
+            return Vec::new();
+        }
+        let doomed: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.path.iter().any(|&(fl, _)| fl == l))
+            .map(|(&id, _)| id)
+            .collect();
+        doomed
+            .into_iter()
+            .map(|id| (id, self.flows.remove(&id).expect("doomed flow present")))
+            .collect()
     }
 
     fn finish_estimate(&self, f: &Flow) -> SimTime {
@@ -408,7 +469,10 @@ mod tests {
         let done = net.advance_to(SimTime::from_millis(10));
         assert_eq!(done.len(), 3);
         // Completion order follows size here.
-        assert_eq!(done.iter().map(|(_, f)| f.tag).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            done.iter().map(|(_, f)| f.tag).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         // Conservation: 6 MB crossed link 0.
         assert!((net.cumulative_bytes(links[0]) - 6_000_000.0).abs() < 1.0);
         assert_eq!(net.cumulative_bytes(links[1]), 0.0);
@@ -482,6 +546,57 @@ mod tests {
         let rh = net.flow(heavy).unwrap().rate_bps;
         let rl = net.flow(light).unwrap().rate_bps;
         assert!((rh / rl - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_link_rerates_inflight_flow() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        // 1 MB at 100 Gbps would finish at ~82 us.
+        net.start_flow(SimTime::ZERO, &fwd(&links), 1_000_000, 0);
+        // At 40 us (≈ 0.5 MB in), the first link browns out to 25%.
+        let aborted = net.set_link_scale(SimTime::from_micros(40), links[0], 0.25);
+        assert!(aborted.is_empty(), "degrade must not abort flows");
+        assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
+        // Remaining ~0.5 MB at 25 Gbps = ~160 us more.
+        let t = net.next_event_time().unwrap().as_micros_f64();
+        assert!((t - 202.0).abs() < 2.0, "finish at {t} us");
+        // Recovery at 100 us: 2.5e6 bits remain (60 us at 25 Gbps drained
+        // 1.5e6), so line rate finishes them 25 us later.
+        net.set_link_scale(SimTime::from_micros(100), links[0], 1.0);
+        let t = net.next_event_time().unwrap().as_micros_f64();
+        assert!((t - 127.0).abs() < 2.0, "finish at {t} us after recovery");
+    }
+
+    #[test]
+    fn dead_link_aborts_crossing_flows_only() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        let doomed = net.start_flow(SimTime::ZERO, &fwd(&links), 1_000_000, 7);
+        let survivor = net.start_flow(SimTime::ZERO, &fwd(&links[1..]), 1_000_000, 8);
+        let aborted = net.set_link_scale(SimTime::from_micros(10), links[0], 0.0);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].0, doomed);
+        assert_eq!(aborted[0].1.tag, 7);
+        // Progress was accrued up to the fault before the abort.
+        assert!(aborted[0].1.remaining_bytes < 1_000_000.0);
+        assert!(net.flow(survivor).is_some());
+        // Dead link reads as fully busy with zero residual.
+        assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
+        assert_eq!(net.residual_bandwidth()[links[0].idx()], 0.0);
+        assert!((net.link_scale(links[0]) - 0.0).abs() < 1e-12);
+        // A flow started across the dead link stalls rather than finishing.
+        net.start_flow(SimTime::from_micros(20), &fwd(&links[..1]), 1_000, 9);
+        let next = net.next_event_time().unwrap();
+        assert!(next < SimTime::MAX, "survivor still finishes");
+        let done = net.advance_to(SimTime::from_millis(1));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.tag, 8);
+        // Recovery lets the stalled flow drain.
+        net.set_link_scale(SimTime::from_millis(2), links[0], 1.0);
+        let done = net.advance_to(SimTime::from_millis(3));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.tag, 9);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! multi-tenant traffic, so the pool size is a first-class parameter.
 
 use crate::fixpoint::saturating_add_assign;
-use serde::{Deserialize, Serialize};
 
 /// One aggregator slot.
 #[derive(Clone, Debug)]
@@ -75,7 +74,7 @@ pub enum Contribution {
 }
 
 /// Occupancy and contention statistics for the pool.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SlotPoolStats {
     /// Successful slot allocations.
     pub allocs: u64,

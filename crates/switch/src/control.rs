@@ -9,14 +9,13 @@
 
 use crate::dataplane::{AdmitError, DataplaneCounters, InaDataplane, JobConfig, JobId};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an INA-capable switch (the topology `NodeId`'s raw index).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct SwitchId(pub u32);
 
 /// Counter snapshot for one switch.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SwitchCounters {
     /// Dataplane counters at poll time.
     pub dataplane: DataplaneCounters,
@@ -171,7 +170,8 @@ mod tests {
         ctl.register_switch(SwitchId(0), 8, 4);
         ctl.register_switch(SwitchId(1), 8, 4);
         let j = ctl.new_job_id();
-        ctl.admit(SwitchId(1), j, cfg(2, 2, AggMode::SwitchMlSync)).unwrap();
+        ctl.admit(SwitchId(1), j, cfg(2, 2, AggMode::SwitchMlSync))
+            .unwrap();
         assert_eq!(ctl.placement(j), Some(SwitchId(1)));
         let counters = ctl.poll(SwitchId(1)).unwrap();
         assert_eq!(counters.used_slots, 2);
@@ -197,7 +197,8 @@ mod tests {
         let mut ctl = SwitchControl::new();
         ctl.register_switch(SwitchId(0), 1, 1);
         let j = ctl.new_job_id();
-        ctl.admit(SwitchId(0), j, cfg(2, 4, AggMode::AtpAsync)).unwrap();
+        ctl.admit(SwitchId(0), j, cfg(2, 4, AggMode::AtpAsync))
+            .unwrap();
         let dp = ctl.dataplane_mut(SwitchId(0)).unwrap();
         // First chunk takes the only slot; second falls back.
         dp.process(&InaPacket {

@@ -17,19 +17,18 @@ use crate::aggregator::{Contribution, SlotPool};
 use crate::fixpoint::FixPoint;
 use crate::table::{AggregationTable, TableKey};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Collective-group identifier (one tensor-parallel group's all-reduce
 /// stream).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct JobId(pub u32);
 
 /// Worker identifier within a job (a GPU's rank).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct WorkerId(pub u32);
 
 /// Aggregation discipline.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AggMode {
     /// SwitchML-style: a fixed window of slots per job, strict round
     /// streaming, admission fails when the window cannot be reserved.
@@ -41,7 +40,7 @@ pub enum AggMode {
 }
 
 /// Per-job configuration installed by the control plane.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct JobConfig {
     /// Number of workers contributing to each aggregation.
     pub fanin: u32,
@@ -96,7 +95,7 @@ struct JobState {
 }
 
 /// Hardware counters (per dataplane; the control plane polls these).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DataplaneCounters {
     /// Update packets received.
     pub packets_in: u64,
@@ -157,7 +156,13 @@ impl InaDataplane {
             }
             for w in 0..cfg.window {
                 let slot = self.pool.alloc(cfg.fanin).expect("checked availability");
-                self.table.insert(TableKey { job: job.0, window: w }, slot);
+                self.table.insert(
+                    TableKey {
+                        job: job.0,
+                        window: w,
+                    },
+                    slot,
+                );
                 state.window_slots.push(slot);
                 state.round_of_window.push(w);
             }
@@ -323,9 +328,16 @@ mod tests {
     #[test]
     fn switchml_aggregates_three_workers() {
         let mut dp = InaDataplane::new(8, 2);
-        dp.admit_job(JobId(1), cfg(3, 2, AggMode::SwitchMlSync)).unwrap();
-        assert_eq!(dp.process(&pkt(1, 0, 0, vec![1.0, 2.0])), DataplaneAction::Accepted);
-        assert_eq!(dp.process(&pkt(1, 1, 0, vec![10.0, 20.0])), DataplaneAction::Accepted);
+        dp.admit_job(JobId(1), cfg(3, 2, AggMode::SwitchMlSync))
+            .unwrap();
+        assert_eq!(
+            dp.process(&pkt(1, 0, 0, vec![1.0, 2.0])),
+            DataplaneAction::Accepted
+        );
+        assert_eq!(
+            dp.process(&pkt(1, 1, 0, vec![10.0, 20.0])),
+            DataplaneAction::Accepted
+        );
         match dp.process(&pkt(1, 2, 0, vec![100.0, 200.0])) {
             DataplaneAction::Complete { seq, values } => {
                 assert_eq!(seq, 0);
@@ -340,42 +352,57 @@ mod tests {
     #[test]
     fn switchml_window_streams_rounds() {
         let mut dp = InaDataplane::new(8, 1);
-        dp.admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync)).unwrap();
+        dp.admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync))
+            .unwrap();
         // Rounds 0 and 1 in flight simultaneously (window = 2).
         dp.process(&pkt(1, 0, 0, vec![1.0]));
         dp.process(&pkt(1, 0, 1, vec![2.0]));
         // Round 2 reuses window 0, which is still serving round 0: stall.
-        assert_eq!(dp.process(&pkt(1, 0, 2, vec![3.0])), DataplaneAction::Fallback);
+        assert_eq!(
+            dp.process(&pkt(1, 0, 2, vec![3.0])),
+            DataplaneAction::Fallback
+        );
         // Complete round 0; window 0 advances to round 2.
         assert!(matches!(
             dp.process(&pkt(1, 1, 0, vec![1.0])),
             DataplaneAction::Complete { seq: 0, .. }
         ));
-        assert_eq!(dp.process(&pkt(1, 0, 2, vec![3.0])), DataplaneAction::Accepted);
+        assert_eq!(
+            dp.process(&pkt(1, 0, 2, vec![3.0])),
+            DataplaneAction::Accepted
+        );
     }
 
     #[test]
     fn switchml_admission_fails_when_pool_small() {
         let mut dp = InaDataplane::new(3, 1);
-        assert!(dp.admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync)).is_ok());
+        assert!(dp
+            .admit_job(JobId(1), cfg(2, 2, AggMode::SwitchMlSync))
+            .is_ok());
         assert_eq!(
             dp.admit_job(JobId(2), cfg(2, 2, AggMode::SwitchMlSync)),
             Err(AdmitError::PoolExhausted)
         );
         dp.release_job(JobId(1));
-        assert!(dp.admit_job(JobId(2), cfg(2, 2, AggMode::SwitchMlSync)).is_ok());
+        assert!(dp
+            .admit_job(JobId(2), cfg(2, 2, AggMode::SwitchMlSync))
+            .is_ok());
     }
 
     #[test]
     fn atp_allocates_dynamically_and_falls_back() {
         let mut dp = InaDataplane::new(2, 1);
-        dp.admit_job(JobId(1), cfg(2, 8, AggMode::AtpAsync)).unwrap();
+        dp.admit_job(JobId(1), cfg(2, 8, AggMode::AtpAsync))
+            .unwrap();
         // Two chunks in flight occupy the whole pool.
         dp.process(&pkt(1, 0, 0, vec![1.0]));
         dp.process(&pkt(1, 0, 1, vec![1.0]));
         assert_eq!(dp.available_slots(), 0);
         // Third chunk: best-effort fallback, not an error.
-        assert_eq!(dp.process(&pkt(1, 0, 2, vec![1.0])), DataplaneAction::Fallback);
+        assert_eq!(
+            dp.process(&pkt(1, 0, 2, vec![1.0])),
+            DataplaneAction::Fallback
+        );
         assert_eq!(dp.counters().fallbacks, 1);
         // Completing chunk 0 frees its slot for chunk 2.
         assert!(matches!(
@@ -383,19 +410,29 @@ mod tests {
             DataplaneAction::Complete { seq: 0, .. }
         ));
         assert_eq!(dp.available_slots(), 1);
-        assert_eq!(dp.process(&pkt(1, 0, 2, vec![1.0])), DataplaneAction::Accepted);
+        assert_eq!(
+            dp.process(&pkt(1, 0, 2, vec![1.0])),
+            DataplaneAction::Accepted
+        );
     }
 
     #[test]
     fn duplicates_are_idempotent() {
         let mut dp = InaDataplane::new(4, 1);
-        dp.admit_job(JobId(1), cfg(3, 1, AggMode::SwitchMlSync)).unwrap();
+        dp.admit_job(JobId(1), cfg(3, 1, AggMode::SwitchMlSync))
+            .unwrap();
         dp.process(&pkt(1, 0, 0, vec![5.0]));
-        assert_eq!(dp.process(&pkt(1, 0, 0, vec![5.0])), DataplaneAction::DroppedDuplicate);
+        assert_eq!(
+            dp.process(&pkt(1, 0, 0, vec![5.0])),
+            DataplaneAction::DroppedDuplicate
+        );
         dp.process(&pkt(1, 1, 0, vec![5.0]));
         match dp.process(&pkt(1, 2, 0, vec![5.0])) {
             DataplaneAction::Complete { values, .. } => {
-                assert!((values[0] - 15.0).abs() < 1e-3, "duplicate was double counted");
+                assert!(
+                    (values[0] - 15.0).abs() < 1e-3,
+                    "duplicate was double counted"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -404,13 +441,17 @@ mod tests {
     #[test]
     fn unknown_job_falls_back() {
         let mut dp = InaDataplane::new(4, 1);
-        assert_eq!(dp.process(&pkt(9, 0, 0, vec![1.0])), DataplaneAction::Fallback);
+        assert_eq!(
+            dp.process(&pkt(9, 0, 0, vec![1.0])),
+            DataplaneAction::Fallback
+        );
     }
 
     #[test]
     fn release_is_idempotent_and_frees_slots() {
         let mut dp = InaDataplane::new(4, 1);
-        dp.admit_job(JobId(1), cfg(2, 4, AggMode::SwitchMlSync)).unwrap();
+        dp.admit_job(JobId(1), cfg(2, 4, AggMode::SwitchMlSync))
+            .unwrap();
         assert_eq!(dp.available_slots(), 0);
         dp.release_job(JobId(1));
         assert_eq!(dp.available_slots(), 4);
@@ -425,7 +466,8 @@ mod tests {
         let fanin = 4u32;
         let chunks = 16u32;
         let mut dp = InaDataplane::new(8, 4);
-        dp.admit_job(JobId(1), cfg(fanin, 4, AggMode::SwitchMlSync)).unwrap();
+        dp.admit_job(JobId(1), cfg(fanin, 4, AggMode::SwitchMlSync))
+            .unwrap();
         let mut completed = 0;
         for seq in 0..chunks {
             for w in 0..fanin {

@@ -5,10 +5,8 @@
 //! with saturation, and receivers divide the factor back out. The scale is
 //! a per-job constant negotiated by the control plane.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-point codec with a power-of-two scale factor.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FixPoint {
     /// log2 of the scaling factor (bits of fraction).
     pub frac_bits: u8,
@@ -87,7 +85,7 @@ mod tests {
     #[test]
     fn roundtrip_within_quantum() {
         let fp = FixPoint::default();
-        for &v in &[0.0f32, 1.0, -1.0, 3.14159, -123.456, 1e-4] {
+        for &v in &[0.0f32, 1.0, -1.0, std::f32::consts::PI, -123.456, 1e-4] {
             let got = fp.decode(fp.encode(v));
             assert!(
                 (got - v).abs() <= fp.quantum() * 1.01,

@@ -33,6 +33,8 @@ pub mod table;
 
 pub use aggregator::{SlotPool, SlotPoolStats};
 pub use control::{SwitchControl, SwitchCounters};
-pub use dataplane::{AggMode, DataplaneAction, InaDataplane, InaPacket, JobConfig, JobId, WorkerId};
+pub use dataplane::{
+    AggMode, DataplaneAction, InaDataplane, InaPacket, JobConfig, JobId, WorkerId,
+};
 pub use fixpoint::FixPoint;
 pub use table::AggregationTable;

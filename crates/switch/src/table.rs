@@ -8,10 +8,9 @@
 //! packet header.
 
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// A table key: which job, which in-flight aggregation window.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TableKey {
     /// The INA job (collective group) id.
     pub job: u32,
@@ -63,10 +62,7 @@ impl AggregationTable {
             .filter(|k| k.job == job)
             .copied()
             .collect();
-        let mut slots: Vec<u32> = keys
-            .into_iter()
-            .filter_map(|k| self.remove(k))
-            .collect();
+        let mut slots: Vec<u32> = keys.into_iter().filter_map(|k| self.remove(k)).collect();
         slots.sort_unstable();
         slots
     }

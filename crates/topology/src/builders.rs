@@ -14,7 +14,6 @@
 //!   (≈160 µs vs ≈90 µs for 1 MB).
 
 use crate::graph::{bandwidth, latency, GpuSpec, Graph, GraphBuilder, LinkKind, NodeId, ServerId};
-use serde::{Deserialize, Serialize};
 
 /// Handles into a built topology, for tests and experiment harnesses.
 #[derive(Clone, Debug)]
@@ -37,7 +36,7 @@ impl BuiltTopology {
 }
 
 /// Parameters for the parametric `xtracks` fabric.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct XTracksConfig {
     /// Number of pods (groups of servers sharing access switches).
     pub pods: usize,

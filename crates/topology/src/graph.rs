@@ -6,19 +6,18 @@
 //! and switches, PCIe as the paper's future-work fallback. Bandwidth is in
 //! bits per second; propagation latency in nanoseconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in the graph.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Index of a link in the graph.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 /// Identifier of a physical server chassis (groups GPUs for NVLink reach).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerId(pub u32);
 
 impl fmt::Debug for NodeId {
@@ -53,7 +52,7 @@ impl LinkId {
 }
 
 /// Hardware description of a GPU node (the parts the planner cares about).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable model, e.g. "A100-40G".
     pub model: String,
@@ -109,7 +108,7 @@ impl GpuSpec {
 }
 
 /// What a node is.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum NodeKind {
     /// A GPU (with its RDMA NIC) inside `server`.
     Gpu {
@@ -158,7 +157,7 @@ impl NodeKind {
 }
 
 /// Interconnect technology of a link.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Intra-server GPU-to-GPU link (NVLink/NVSwitch).
     NvLink,
@@ -170,7 +169,7 @@ pub enum LinkKind {
 }
 
 /// An undirected link with capacity and propagation delay.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Link {
     /// One endpoint.
     pub a: NodeId,
@@ -200,7 +199,7 @@ impl Link {
 }
 
 /// A node with its kind.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// What the node is.
     pub kind: NodeKind,
@@ -209,7 +208,7 @@ pub struct Node {
 }
 
 /// The cluster fabric: nodes, links, adjacency.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     links: Vec<Link>,

@@ -219,9 +219,21 @@ pub fn shortest_path(
     weight: LinkWeight,
     avail_bps: Option<&[f64]>,
 ) -> Option<Path> {
+    shortest_path_avoiding(g, src, dst, weight, avail_bps, &FxHashSet::default())
+}
+
+/// Shortest path that never traverses a link in `avoid` (e.g. links taken
+/// down by a fault), or `None` if no such path exists.
+pub fn shortest_path_avoiding(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: LinkWeight,
+    avail_bps: Option<&[f64]>,
+    avoid: &FxHashSet<LinkId>,
+) -> Option<Path> {
     let empty_n = FxHashSet::default();
-    let empty_l = FxHashSet::default();
-    let (dist, prev) = dijkstra(g, src, weight, avail_bps, &empty_n, &empty_l);
+    let (dist, prev) = dijkstra(g, src, weight, avail_bps, &empty_n, avoid);
     reconstruct(g, src, dst, &dist, &prev)
 }
 
@@ -333,8 +345,23 @@ pub fn k_shortest_paths(
     weight: LinkWeight,
     avail_bps: Option<&[f64]>,
 ) -> Vec<Path> {
+    k_shortest_paths_avoiding(g, src, dst, k, weight, avail_bps, &FxHashSet::default())
+}
+
+/// Yen's algorithm restricted to paths that never traverse a link in
+/// `avoid`. The online scheduler uses this to rebuild its route cache
+/// after a fault takes links out of service.
+pub fn k_shortest_paths_avoiding(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: LinkWeight,
+    avail_bps: Option<&[f64]>,
+    avoid: &FxHashSet<LinkId>,
+) -> Vec<Path> {
     let mut result: Vec<Path> = Vec::new();
-    let Some(first) = shortest_path(g, src, dst, weight, avail_bps) else {
+    let Some(first) = shortest_path_avoiding(g, src, dst, weight, avail_bps, avoid) else {
         return result;
     };
     result.push(first);
@@ -351,7 +378,7 @@ pub fn k_shortest_paths(
             let spur_node = last_nodes[spur_idx];
             let root_links: Vec<LinkId> = last.links[..spur_idx].to_vec();
 
-            let mut banned_links: FxHashSet<LinkId> = FxHashSet::default();
+            let mut banned_links: FxHashSet<LinkId> = avoid.clone();
             for p in result.iter().chain(candidates.iter()) {
                 if p.links.len() > spur_idx && p.links[..spur_idx] == root_links[..] {
                     banned_links.insert(p.links[spur_idx]);
@@ -364,7 +391,14 @@ pub fn k_shortest_paths(
                 banned_nodes.insert(n);
             }
 
-            let (d, prev) = dijkstra(g, spur_node, weight, avail_bps, &banned_nodes, &banned_links);
+            let (d, prev) = dijkstra(
+                g,
+                spur_node,
+                weight,
+                avail_bps,
+                &banned_nodes,
+                &banned_links,
+            );
             if let Some(spur) = reconstruct(g, spur_node, dst, &d, &prev) {
                 let mut links = root_links.clone();
                 links.extend_from_slice(&spur.links);
@@ -421,8 +455,20 @@ mod tests {
         let a1 = b.add_access_switch(true, "acc1");
         let core = b.add_core_switch(true, "core");
         // NVLink within each server.
-        b.add_link(gpus[0], gpus[1], LinkKind::NvLink, bandwidth::NVLINK_A100, 300);
-        b.add_link(gpus[2], gpus[3], LinkKind::NvLink, bandwidth::NVLINK_A100, 300);
+        b.add_link(
+            gpus[0],
+            gpus[1],
+            LinkKind::NvLink,
+            bandwidth::NVLINK_A100,
+            300,
+        );
+        b.add_link(
+            gpus[2],
+            gpus[3],
+            LinkKind::NvLink,
+            bandwidth::NVLINK_A100,
+            300,
+        );
         // Ethernet: gpu -> its access switch.
         b.add_link(gpus[0], a0, LinkKind::Ethernet, bandwidth::ETH_100G, 1000);
         b.add_link(gpus[1], a0, LinkKind::Ethernet, bandwidth::ETH_100G, 1000);
@@ -476,7 +522,10 @@ mod tests {
         let w = LinkWeight::TransferTime { bytes: 1 << 20 };
         let p = shortest_path(&g, gpus[0], gpus[1], w, Some(&avail)).unwrap();
         assert_eq!(p.hop_count(), 2);
-        assert!(p.links.iter().all(|&l| g.link(l).kind == LinkKind::Ethernet));
+        assert!(p
+            .links
+            .iter()
+            .all(|&l| g.link(l).kind == LinkKind::Ethernet));
     }
 
     #[test]
@@ -519,7 +568,11 @@ mod tests {
     fn yen_k_shortest_are_distinct_sorted_loopless() {
         let (g, gpus, _) = sample();
         let paths = k_shortest_paths(&g, gpus[0], gpus[2], 4, LinkWeight::Hops, None);
-        assert!(paths.len() >= 2, "expected multiple routes, got {}", paths.len());
+        assert!(
+            paths.len() >= 2,
+            "expected multiple routes, got {}",
+            paths.len()
+        );
         for w in paths.windows(2) {
             assert!(w[0].cost <= w[1].cost, "not sorted by cost");
             assert_ne!(w[0].links, w[1].links, "duplicate path");
@@ -545,6 +598,34 @@ mod tests {
     }
 
     #[test]
+    fn avoiding_routes_around_banned_links() {
+        let (g, gpus, _) = sample();
+        // Ban the direct NVLink between gpu0 and gpu1; the detour goes
+        // through their shared access switch.
+        let direct = shortest_path(&g, gpus[0], gpus[1], LinkWeight::Hops, None).unwrap();
+        let mut avoid = FxHashSet::default();
+        avoid.insert(direct.links[0]);
+        let detour =
+            shortest_path_avoiding(&g, gpus[0], gpus[1], LinkWeight::Hops, None, &avoid).unwrap();
+        assert_eq!(detour.hop_count(), 2);
+        assert!(!detour.links.contains(&direct.links[0]));
+        // Every Yen path honors the ban too.
+        let paths =
+            k_shortest_paths_avoiding(&g, gpus[0], gpus[1], 3, LinkWeight::Hops, None, &avoid);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(!p.links.contains(&direct.links[0]));
+        }
+        // Banning every incident link disconnects the pair.
+        for &(_, le) in g.neighbors(gpus[0]) {
+            avoid.insert(le);
+        }
+        assert!(
+            shortest_path_avoiding(&g, gpus[0], gpus[1], LinkWeight::Hops, None, &avoid).is_none()
+        );
+    }
+
+    #[test]
     fn bottleneck_bandwidth() {
         let (g, gpus, _) = sample();
         let p = shortest_path(&g, gpus[0], gpus[2], LinkWeight::Hops, None).unwrap();
@@ -560,8 +641,11 @@ mod proptests {
 
     /// Random connected-ish graphs: N nodes on a ring plus random chords.
     fn arb_graph() -> impl Strategy<Value = Graph> {
-        (4usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..10)).prop_map(
-            |(n, chords)| {
+        (
+            4usize..12,
+            proptest::collection::vec((0usize..12, 0usize..12), 0..10),
+        )
+            .prop_map(|(n, chords)| {
                 let mut b = GraphBuilder::new();
                 let nodes: Vec<NodeId> = (0..n)
                     .map(|i| b.add_gpu(ServerId(i as u32), 0, GpuSpec::a100_40g()))
@@ -582,8 +666,7 @@ mod proptests {
                     }
                 }
                 b.build()
-            },
-        )
+            })
     }
 
     proptest! {

@@ -16,14 +16,18 @@
 //! * [`arrival`] — Poisson arrivals plus a two-state MMPP for the *bursty*
 //!   conditions under which homogeneous INA collapses (§I, §II-C);
 //! * [`trace`] — materialized request records and replay iteration;
-//! * [`stats`] — means/percentiles used by every experiment report.
+//! * [`stats`] — means/percentiles used by every experiment report;
+//! * [`fault`] — timed fabric-fault schedules ([`FaultPlan`]) replayed
+//!   alongside a trace to exercise graceful degradation.
 
 pub mod arrival;
+pub mod fault;
 pub mod spec;
 pub mod stats;
 pub mod trace;
 
 pub use arrival::{ArrivalProcess, Mmpp, Poisson};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use spec::{longbench_like, sharegpt_like, LengthSpec, WorkloadSpec};
 pub use stats::{mean, percentile};
 pub use trace::{Request, RequestId, Trace};

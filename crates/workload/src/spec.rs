@@ -3,10 +3,9 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
-use serde::{Deserialize, Serialize};
 
 /// A clamped log-normal token-length distribution.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LengthSpec {
     /// Mean of the underlying normal (log-token space).
     pub mu: f64,
@@ -46,7 +45,7 @@ impl LengthSpec {
 }
 
 /// A full workload: input and output length distributions plus SLAs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// Name for reports ("chatbot", "summarization").
     pub name: String,

@@ -4,14 +4,13 @@ use crate::arrival::ArrivalProcess;
 use crate::spec::WorkloadSpec;
 use hs_des::SimTime;
 use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 
 /// Request identifier, unique within one trace.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RequestId(pub u64);
 
 /// One inference request.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Request {
     /// Identifier.
     pub id: RequestId,
@@ -24,7 +23,7 @@ pub struct Request {
 }
 
 /// A time-ordered request trace.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Requests, sorted by arrival.
     pub requests: Vec<Request>,

@@ -61,7 +61,11 @@ fn main() {
         cross_group,
         topo.graph.node(sw).label
     );
-    for space in [SchemeSpace::RingOnly, SchemeSpace::InaOnly, SchemeSpace::Hybrid] {
+    for space in [
+        SchemeSpace::RingOnly,
+        SchemeSpace::InaOnly,
+        SchemeSpace::Hybrid,
+    ] {
         let (scheme, lat) = get_latency(
             &topo.graph,
             &ap,

@@ -44,7 +44,11 @@ fn main() {
         out.est_ttft_s, out.est_tpot_s, out.est_h_rps
     );
     for (i, gs) in out.prefill.group_schemes.iter().enumerate() {
-        println!("  prefill group {i}: {:?} ({:.1} us)", gs.scheme, gs.latency_s * 1e6);
+        println!(
+            "  prefill group {i}: {:?} ({:.1} us)",
+            gs.scheme,
+            gs.latency_s * 1e6
+        );
     }
 
     // 3. Serve a trace with the load-aware online scheduler driving

@@ -2,7 +2,9 @@
 //! packet-level switch dataplane, across topologies and schemes.
 
 use hs_collective::plan::{run_isolated, run_on};
-use hs_collective::verify::{ina_allreduce_data, reference_sum, ring_allreduce_data, test_dataplane};
+use hs_collective::verify::{
+    ina_allreduce_data, reference_sum, ring_allreduce_data, test_dataplane,
+};
 use hs_collective::{hierarchical_ina_latency, ring_latency, Scheme};
 use hs_des::SimTime;
 use hs_simnet::SimNet;
@@ -55,7 +57,13 @@ fn hierarchical_wins_grow_with_group_width_on_big_fabric() {
     let sw = topo.access_switches[0];
     let bytes = 32 << 20;
     let flat = run_isolated(&topo.graph, &ap, &group, Scheme::Ina { switch: sw }, bytes);
-    let hier = run_isolated(&topo.graph, &ap, &group, Scheme::HierIna { switch: sw }, bytes);
+    let hier = run_isolated(
+        &topo.graph,
+        &ap,
+        &group,
+        Scheme::HierIna { switch: sw },
+        bytes,
+    );
     // 16 flat INA streams vs 2 leader streams: hierarchy must win big.
     assert!(
         hier.as_secs_f64() < 0.6 * flat.as_secs_f64(),
@@ -75,8 +83,14 @@ fn closed_forms_rank_like_executions() {
     let cf_ring = ring_latency(&topo.graph, &group, &ap, bytes, None);
     let cf_hier = hierarchical_ina_latency(&topo.graph, &group, sw, &ap, bytes, None);
     let ex_ring = run_isolated(&topo.graph, &ap, &group, Scheme::Ring, bytes).as_secs_f64();
-    let ex_hier =
-        run_isolated(&topo.graph, &ap, &group, Scheme::HierIna { switch: sw }, bytes).as_secs_f64();
+    let ex_hier = run_isolated(
+        &topo.graph,
+        &ap,
+        &group,
+        Scheme::HierIna { switch: sw },
+        bytes,
+    )
+    .as_secs_f64();
     assert_eq!(
         cf_hier < cf_ring,
         ex_hier < ex_ring,
@@ -121,7 +135,11 @@ fn data_level_schemes_agree_at_scale() {
     let p = 8usize;
     let n = 1000usize;
     let data: Vec<Vec<f32>> = (0..p)
-        .map(|w| (0..n).map(|i| ((w * 37 + i * 11) % 200) as f32 / 20.0 - 5.0).collect())
+        .map(|w| {
+            (0..n)
+                .map(|i| ((w * 37 + i * 11) % 200) as f32 / 20.0 - 5.0)
+                .collect()
+        })
         .collect();
     let expect = reference_sum(&data);
     let mut ring = data.clone();

@@ -6,7 +6,13 @@ use hs_des::SimTime;
 use hs_topology::builders::testbed;
 use hs_topology::{AllPairs, LinkWeight, NodeId};
 
-fn scheduler_with(params: SchedulerParams) -> (HeroScheduler, Vec<NodeId>, hs_topology::builders::BuiltTopology) {
+fn scheduler_with(
+    params: SchedulerParams,
+) -> (
+    HeroScheduler,
+    Vec<NodeId>,
+    hs_topology::builders::BuiltTopology,
+) {
     let topo = testbed();
     let mut nodes = topo.all_gpus();
     nodes.extend(&topo.access_switches);
@@ -55,7 +61,10 @@ fn selection_migrates_between_switches_under_load() {
             avoided += 1;
         }
     }
-    assert!(avoided >= 8, "only {avoided}/10 choices avoided the hot switch");
+    assert!(
+        avoided >= 8,
+        "only {avoided}/10 choices avoided the hot switch"
+    );
 }
 
 #[test]

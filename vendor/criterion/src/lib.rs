@@ -1,0 +1,172 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the authoring surface `benches/micro.rs` uses — `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!` — with a simple wall-clock timer instead of the real
+//! crate's statistical machinery. Each benchmark runs `sample_size` samples
+//! and prints the per-iteration median; good enough to spot order-of-
+//! magnitude regressions without network access to fetch the real crate.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// How `iter_batched` amortizes setup; accepted for API parity, the shim
+/// re-runs setup per iteration regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    /// Median ns/iter of the samples taken, filled by `iter`/`iter_batched`.
+    pub(crate) median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    fn sample_iters(&self) -> u64 {
+        // Enough iterations per sample to get past timer resolution.
+        16
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = self.sample_iters();
+        let mut per_sample = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_sample.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_sample.sort_by(f64::total_cmp);
+        self.median_ns = per_sample[per_sample.len() / 2];
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_sample = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_sample.push(start.elapsed().as_nanos() as f64);
+        }
+        per_sample.sort_by(f64::total_cmp);
+        self.median_ns = per_sample[per_sample.len() / 2];
+    }
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        let ns = b.median_ns;
+        if ns >= 1e6 {
+            println!("{name:<40} {:>12.3} ms/iter", ns / 1e6);
+        } else if ns >= 1e3 {
+            println!("{name:<40} {:>12.3} us/iter", ns / 1e3);
+        } else {
+            println!("{name:<40} {ns:>12.1} ns/iter");
+        }
+        self
+    }
+}
+
+/// Mirrors `criterion_group!`, both the `name/config/targets` form and the
+/// positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_positive_median() {
+        let mut c = Criterion::default().sample_size(5);
+        // Indirectly exercises Bencher::iter via bench_function.
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(2);
+        targets = tiny_bench
+    }
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo();
+    }
+}

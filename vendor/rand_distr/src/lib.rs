@@ -1,0 +1,138 @@
+//! Vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides the subset used by this workspace: the [`Distribution`] trait,
+//! [`Exp`] (exponential inter-arrival gaps) and [`LogNormal`] (token-length
+//! sampling). Normal variates come from the Box–Muller transform — slower
+//! than the real crate's ziggurat but statistically equivalent, and the
+//! simulators sample a few thousand variates per run at most.
+
+use rand::{Rng, RngCore};
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error type for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Rate / scale parameter must be positive and finite.
+    BadParam,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Exp, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error::BadParam)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF: -ln(1-U)/lambda, with U in [0,1) so the argument
+        // of ln stays in (0,1].
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0,1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error::BadParam)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; we draw two uniforms and use one variate. u1 is
+        // nudged away from zero so ln(u1) is finite.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_rejects_bad_params() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn exp_mean_close_to_inverse_rate() {
+        let d = Exp::new(4.0).unwrap();
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::new(2.0, 0.0).unwrap();
+        let mut r = SmallRng::seed_from_u64(12);
+        for _ in 0..16 {
+            let x = d.sample(&mut r);
+            assert!((x - 2.0f64.exp()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut r = SmallRng::seed_from_u64(13);
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        let expected = 1.0f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Vendored sequential stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access. The workspace uses rayon
+//! only for `into_par_iter()` pipelines and `rayon::join`, both of which
+//! have exact sequential semantics (rayon guarantees the same results as
+//! the serial execution; it only changes wall-clock time). This shim runs
+//! everything on the calling thread, so `into_par_iter()` hands back the
+//! ordinary iterator and `join` runs its closures back to back.
+
+/// Run both closures and return their results. Sequential: `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    /// Sequential mirror of rayon's `IntoParallelIterator`: "parallel"
+    /// iteration is ordinary iteration on the calling thread.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+
+        fn into_par_iter(self) -> T::IntoIter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let xs = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = xs
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| x * 2 + i as u32)
+            .collect();
+        let serial: Vec<u32> = xs
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| x * 2 + i as u32)
+            .collect();
+        assert_eq!(doubled, serial);
+    }
+}

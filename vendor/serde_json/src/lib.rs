@@ -1,0 +1,327 @@
+//! Vendored stand-in for the `serde_json` crate.
+//!
+//! The bench harness only builds flat JSON rows with the [`json!`] macro and
+//! pretty-prints them with [`to_string_pretty`], so that is the whole surface
+//! implemented here. Object key order is preserved (insertion order), which
+//! keeps emitted experiment rows stable across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+/// JSON number, keeping integers exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_owned())
+    }
+}
+
+/// `None` → `null`, `Some(v)` → `v` (how serde_json serializes options).
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Value::from)
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+/// Tuples serialize as fixed-size arrays (series points, ranges).
+impl<A, B> From<(A, B)> for Value
+where
+    Value: From<A> + From<B>,
+{
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![Value::from(a), Value::from(b)])
+    }
+}
+
+/// Serialization error. The mini emitter is infallible in practice; the
+/// type exists so call sites matching on `Result` keep compiling.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types this mini-serde can turn into a [`Value`] tree for emission.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for [Value] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.to_vec())
+    }
+}
+
+impl Serialize for Vec<Value> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.clone())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                // JSON has no Inf/NaN; serde_json emits null for them too.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print with two-space indentation, matching `serde_json`'s style.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports the flat object /
+/// array / scalar forms the bench harness uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:tt : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_round_trip() {
+        let v = json!({"name": "fig7", "rate": 3.5, "count": 42u64, "neg": -3, "ok": true});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"fig7\""));
+        assert!(s.contains("\"rate\": 3.5"));
+        assert!(s.contains("\"count\": 42"));
+        assert!(s.contains("\"neg\": -3"));
+        assert!(s.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn array_of_rows_pretty_prints() {
+        let rows = [json!({"a": 1}), json!({"a": 2})];
+        let s = to_string_pretty(&rows[..]).unwrap();
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with(']'));
+        assert_eq!(s.matches("\"a\"").count(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"msg": "line\n\"quoted\"\\"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\\n"));
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\\\\"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let v = json!({"x": f64::NAN});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"x\": null"));
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let v = json!({"z": 1, "a": 2, "m": 3});
+        let s = to_string_pretty(&v).unwrap();
+        let zi = s.find("\"z\"").unwrap();
+        let ai = s.find("\"a\"").unwrap();
+        let mi = s.find("\"m\"").unwrap();
+        assert!(zi < ai && ai < mi);
+    }
+}
