@@ -254,8 +254,41 @@ impl Deployment {
         self.serve(&trace, duration)
     }
 
+    /// Serve a Poisson trace at `rate` with observability attached.
+    pub fn serve_trace_observed(
+        &self,
+        seed: u64,
+        rate: f64,
+        duration: SimTime,
+        tracer: &hs_obs::Tracer,
+        metrics: &hs_obs::MetricsRegistry,
+    ) -> SimReport {
+        let mut rng = SeedSplitter::new(seed).stream("trace");
+        let mut arr = Poisson::new(rate);
+        let trace = Trace::generate(&self.workload, &mut arr, &mut rng, duration);
+        self.serve_observed(&trace, duration, tracer, metrics)
+    }
+
     /// Serve an explicit trace.
     pub fn serve(&self, trace: &Trace, horizon: SimTime) -> SimReport {
+        self.serve_observed(
+            trace,
+            horizon,
+            &hs_obs::Tracer::noop(),
+            &hs_obs::MetricsRegistry::disabled(),
+        )
+    }
+
+    /// Serve an explicit trace with observability attached: the tracer
+    /// and registry record the run (request lifecycle, collectives,
+    /// faults, link utilization) without changing its outcome.
+    pub fn serve_observed(
+        &self,
+        trace: &Trace,
+        horizon: SimTime,
+        tracer: &hs_obs::Tracer,
+        metrics: &hs_obs::MetricsRegistry,
+    ) -> SimReport {
         let margin = SimSpan::from_secs_f64((horizon.as_secs_f64() * 0.25).min(60.0));
         let mut sim = ClusterSim::new(
             &self.topology.graph,
@@ -264,6 +297,7 @@ impl Deployment {
             trace,
             self.strategy(),
         );
+        sim.set_obs(tracer, metrics);
         sim.run(horizon + margin)
     }
 }
@@ -287,6 +321,30 @@ mod tests {
             assert!(report.completed > 0, "{}: nothing completed", kind.name());
             assert_eq!(report.strategy, kind.name());
         }
+    }
+
+    #[test]
+    fn observed_serve_matches_plain_serve() {
+        let topo = testbed();
+        let workload = hs_workload::sharegpt_like();
+        let d = BaselineKind::DistServe
+            .deploy(&topo, &ModelConfig::opt_66b(), &workload, 0.3)
+            .unwrap();
+        let mut rng = SeedSplitter::new(5).stream("trace");
+        let mut arr = Poisson::new(0.5);
+        let trace = Trace::generate(&workload, &mut arr, &mut rng, SimTime::from_secs(6));
+        let plain = d.serve(&trace, SimTime::from_secs(6));
+        let tracer = hs_obs::Tracer::recording();
+        let metrics = hs_obs::MetricsRegistry::recording();
+        let observed = d.serve_observed(&trace, SimTime::from_secs(6), &tracer, &metrics);
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain.mean_ttft_s, observed.mean_ttft_s);
+        assert_eq!(plain.eth_bytes, observed.eth_bytes);
+        assert!(!tracer.is_empty(), "observed run recorded no events");
+        assert_eq!(
+            metrics.counter_value("requests_arrived"),
+            Some(observed.arrived as u64)
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() {
                 duration: SimTime::from_secs(5),
                 background_rate: 20.0,
                 background_bytes: 256 << 20,
+                trace_path: None,
             };
             let r = run_agg_bench(&topo.graph, &ap, &cfg, 4242);
             rows.push((system, r));

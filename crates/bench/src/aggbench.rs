@@ -63,6 +63,9 @@ pub struct AggBenchConfig {
     pub background_rate: f64,
     /// Background flow size, bytes.
     pub background_bytes: u64,
+    /// When set, record the run (flow events, link scaling, HeroServe's
+    /// policy-selection audit) and write Chrome trace-event JSON here.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 /// Result: aggregate algorithm bandwidth and diagnostics.
@@ -95,7 +98,13 @@ struct GroupState {
 /// Run one configuration; deterministic in `seed`.
 pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u64) -> AggResult {
     let seeds = SeedSplitter::new(seed);
+    let tracer = if cfg.trace_path.is_some() {
+        hs_obs::Tracer::recording()
+    } else {
+        hs_obs::Tracer::noop()
+    };
     let mut net = SimNet::new(graph);
+    net.set_tracer(&tracer);
     let mut monitor = LinkMonitor::new(graph.link_count(), 0.5);
     let mut events: EventQueue<Ev> = EventQueue::new();
     let ina_switches = graph.ina_switches();
@@ -123,6 +132,7 @@ pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u
 
     // Scheduler for the Hero system.
     let mut hero = HeroScheduler::new(graph, ap.clone(), SchedulerParams::default());
+    hero.attach_tracer(&tracer);
     let mut util = vec![0.0f64; graph.link_count()];
 
     // Group + collective state.
@@ -408,6 +418,16 @@ pub fn run_agg_bench(graph: &Graph, ap: &AllPairs, cfg: &AggBenchConfig, seed: u
 
     result.goodput_bps =
         result.ops as f64 * cfg.msg_bytes as f64 * 8.0 / cfg.duration.as_secs_f64();
+    if let Some(path) = &cfg.trace_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = std::fs::write(path, hs_obs::chrome_trace(&tracer.records())) {
+            eprintln!("aggbench: failed to write trace to {}: {e}", path.display());
+        }
+    }
     result
 }
 

@@ -153,6 +153,41 @@ fn retry_delay(attempt: u32) -> SimSpan {
     SimSpan::from_millis((10u64 << attempt.min(6)).min(500))
 }
 
+/// Trace-event name for a collective, derived from what it was compiled
+/// from.
+fn coll_kind(origin: &CollOrigin) -> &'static str {
+    match origin {
+        CollOrigin::Group { .. } => "allreduce",
+        CollOrigin::PipeHops { .. } => "pipe_hops",
+    }
+}
+
+/// Metric ids registered against the attached registry. The ids handed
+/// out by a disabled registry are inert, so the default is free.
+struct ObsIds {
+    arrived: hs_obs::CounterId,
+    completed: hs_obs::CounterId,
+    colls: hs_obs::CounterId,
+    coll_aborts: hs_obs::CounterId,
+    faults: hs_obs::CounterId,
+    ttft: hs_obs::HistogramId,
+    tpot: hs_obs::HistogramId,
+}
+
+impl ObsIds {
+    fn register(m: &hs_obs::MetricsRegistry) -> Self {
+        ObsIds {
+            arrived: m.counter("requests_arrived"),
+            completed: m.counter("requests_completed"),
+            colls: m.counter("collectives_launched"),
+            coll_aborts: m.counter("collectives_aborted"),
+            faults: m.counter("fault_events"),
+            ttft: m.histogram("ttft_s", &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0]),
+            tpot: m.histogram("tpot_s", &[0.01, 0.025, 0.05, 0.1, 0.15, 0.3, 1.0]),
+        }
+    }
+}
+
 /// The simulator.
 pub struct ClusterSim {
     g: Graph,
@@ -192,6 +227,10 @@ pub struct ClusterSim {
     /// Seconds from each fault-induced abort to a relaunch whose plan
     /// avoids every dead link (time-to-reroute samples).
     reroute_secs: Vec<f64>,
+    // --- observability ------------------------------------------------
+    tracer: hs_obs::Tracer,
+    metrics: hs_obs::MetricsRegistry,
+    obs: ObsIds,
 }
 
 impl ClusterSim {
@@ -306,7 +345,22 @@ impl ClusterSim {
             aborted_flows: 0,
             flow_retries: 0,
             reroute_secs: Vec::new(),
+            tracer: hs_obs::Tracer::noop(),
+            metrics: hs_obs::MetricsRegistry::disabled(),
+            obs: ObsIds::register(&hs_obs::MetricsRegistry::disabled()),
         }
+    }
+
+    /// Attach observability handles (the defaults are a no-op tracer and
+    /// a disabled registry). The same tracer is wired into the network
+    /// simulator and the strategy so every layer records into one
+    /// stream; tracing never changes simulation outcomes.
+    pub fn set_obs(&mut self, tracer: &hs_obs::Tracer, metrics: &hs_obs::MetricsRegistry) {
+        self.tracer = tracer.clone();
+        self.metrics = metrics.clone();
+        self.obs = ObsIds::register(metrics);
+        self.net.set_tracer(tracer);
+        self.strategy.attach_tracer(tracer);
     }
 
     /// Run until `horizon` and produce the report.
@@ -343,8 +397,17 @@ impl ClusterSim {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival(idx) => {
-                let id = self.reqs[idx as usize].req.id;
-                self.prefill_queue.push_back(id);
+                let req = self.reqs[idx as usize].req;
+                self.tracer.request_arrived(
+                    self.now,
+                    req.id.0,
+                    req.input_tokens,
+                    req.output_tokens,
+                );
+                self.tracer
+                    .request_phase_begin(self.now, req.id.0, "queued");
+                self.metrics.inc(self.obs.arrived, 1);
+                self.prefill_queue.push_back(req.id);
                 self.kick_prefill();
             }
             Ev::ComputeDone { inst } => self.start_comm(inst),
@@ -368,6 +431,17 @@ impl ClusterSim {
                 self.util_snapshot.copy_from_slice(self.monitor.snapshot());
                 self.strategy.on_monitor(&self.util_snapshot, self.now);
                 self.sample_memory();
+                self.metrics.record_link_util(self.now, &self.util_snapshot);
+                self.metrics.snapshot(self.now);
+                if self.tracer.is_enabled() {
+                    // Counter tracks only for links carrying traffic —
+                    // idle links would bloat the trace with flat zeros.
+                    for (l, &u) in self.util_snapshot.iter().enumerate() {
+                        if u > 0.0 {
+                            self.tracer.link_util(self.now, l as u64, u);
+                        }
+                    }
+                }
                 self.events
                     .push(self.now + self.cfg.monitor_period, Ev::MonitorTick);
             }
@@ -391,6 +465,16 @@ impl ClusterSim {
     // ------------------------------------------------------------------
 
     fn apply_fault(&mut self, kind: FaultKind) {
+        if self.tracer.is_enabled() {
+            let recovered = matches!(
+                kind,
+                FaultKind::LinkUp { .. }
+                    | FaultKind::SwitchRecover { .. }
+                    | FaultKind::GpuRecover { .. }
+            );
+            self.tracer.fault(self.now, format!("{kind:?}"), recovered);
+        }
+        self.metrics.inc(self.obs.faults, 1);
         match kind {
             FaultKind::LinkDown { link } => self.set_link(link, 0.0),
             FaultKind::LinkUp { link } => self.set_link(link, 1.0),
@@ -464,8 +548,12 @@ impl ClusterSim {
             let Some(mut state) = self.colls.remove(&coll) else {
                 continue;
             };
+            self.tracer.collective_abort(self.now, coll, gone.len());
+            self.tracer
+                .collective_end(self.now, coll, coll_kind(&state.origin));
+            self.metrics.inc(self.obs.coll_aborts, 1);
             state.exec.abort(&mut self.net, self.now, &gone);
-            self.release_ina(state.ina_switch);
+            self.release_ina(state.ina_switch, coll);
             self.schedule_coll_retry(state.inst, state.origin, state.attempt);
         }
     }
@@ -509,9 +597,14 @@ impl ClusterSim {
                 let hops = hops.clone();
                 let plan = self.compile_pipe_plan(&hops);
                 match plan {
-                    Some(plan) => {
-                        self.launch_plan(p.inst, plan, None, CollOrigin::PipeHops { hops }, retry)
-                    }
+                    Some(plan) => self.launch_plan(
+                        p.inst,
+                        plan,
+                        None,
+                        CollOrigin::PipeHops { hops },
+                        retry,
+                        None,
+                    ),
                     None => false,
                 }
             }
@@ -539,8 +632,9 @@ impl ClusterSim {
             return;
         }
         if links.iter().all(|&(l, _)| self.net.link_scale(l) > 0.0) {
-            self.reroute_secs
-                .push(self.now.saturating_since(aborted_at).as_secs_f64());
+            let delay = self.now.saturating_since(aborted_at).as_secs_f64();
+            self.reroute_secs.push(delay);
+            self.tracer.reroute(self.now, req, delay);
         }
         self.net.start_flow(self.now, &links, bytes, TAG_KV | req);
     }
@@ -604,6 +698,8 @@ impl ClusterSim {
             let r = &mut self.reqs[id.0 as usize];
             r.phase = ReqPhase::Prefilling;
             stats.push(r.req.input_tokens as u64, r.req.output_tokens as u64);
+            self.tracer.request_phase_end(self.now, id.0, "queued");
+            self.tracer.request_phase_begin(self.now, id.0, "prefill");
         }
         let spec = &self.instances[inst].spec;
         let t_c = prefill_latency_secs(&self.cfg.coef, &self.cfg.model, &stats, spec.p_tens())
@@ -673,7 +769,7 @@ impl ClusterSim {
                 .map(|w| (w[0][0], w[1][0], hop_bytes))
                 .collect();
             if let Some(plan) = self.compile_pipe_plan(&hops) {
-                if self.launch_plan(inst, plan, None, CollOrigin::PipeHops { hops }, None) {
+                if self.launch_plan(inst, plan, None, CollOrigin::PipeHops { hops }, None, None) {
                     outstanding += 1;
                 }
             }
@@ -744,6 +840,8 @@ impl ClusterSim {
             {
                 self.ina_failovers += 1;
                 self.ring_ops += 1;
+                self.tracer
+                    .ina_fallback(self.now, switch.0 as u64, group_id);
                 match self.strategy.busy_policy() {
                     BusyPolicy::FallbackHierRing => (Scheme::HierRing, None),
                     // Waiting on a dead switch would hang; degrade.
@@ -757,11 +855,15 @@ impl ClusterSim {
                         BusyPolicy::FallbackRing => {
                             self.ina_fallbacks += 1;
                             self.ring_ops += 1;
+                            self.tracer
+                                .ina_fallback(self.now, switch.0 as u64, group_id);
                             (Scheme::Ring, None)
                         }
                         BusyPolicy::FallbackHierRing => {
                             self.ina_fallbacks += 1;
                             self.ring_ops += 1;
+                            self.tracer
+                                .ina_fallback(self.now, switch.0 as u64, group_id);
                             (Scheme::HierRing, None)
                         }
                         BusyPolicy::Wait => {
@@ -794,12 +896,13 @@ impl ClusterSim {
             }
         };
         let plan = CollectivePlan::compile(&self.g, &self.ap, group, scheme, bytes);
-        self.launch_plan(inst, plan, ina_switch, origin, retry)
+        self.launch_plan(inst, plan, ina_switch, origin, retry, Some(scheme.label()))
     }
 
     /// Launch an arbitrary compiled plan. Returns whether it is
     /// outstanding. When `retry` is set, this is a post-abort relaunch:
     /// a plan that avoids every dead link counts as a completed reroute.
+    /// `scheme` is the chosen scheme's label, when known, for the trace.
     fn launch_plan(
         &mut self,
         inst: usize,
@@ -807,8 +910,11 @@ impl ClusterSim {
         ina_switch: Option<NodeId>,
         origin: CollOrigin,
         retry: Option<(u32, SimTime)>,
+        scheme: Option<&'static str>,
     ) -> bool {
         let attempt = retry.map(|(a, _)| a).unwrap_or(0);
+        let coll = self.next_coll;
+        self.next_coll += 1;
         if let Some((_, aborted_at)) = retry {
             let avoids_dead = plan.phases.iter().all(|ph| {
                 ph.transfers
@@ -816,17 +922,36 @@ impl ClusterSim {
                     .all(|(path, _)| path.iter().all(|&(l, _)| self.net.link_scale(l) > 0.0))
             });
             if avoids_dead {
-                self.reroute_secs
-                    .push(self.now.saturating_since(aborted_at).as_secs_f64());
+                let delay = self.now.saturating_since(aborted_at).as_secs_f64();
+                self.reroute_secs.push(delay);
+                self.tracer.reroute(self.now, coll, delay);
             }
         }
-        let coll = self.next_coll;
-        self.next_coll += 1;
+        if self.tracer.is_enabled() {
+            let (group, bytes) = match &origin {
+                CollOrigin::Group {
+                    group_id, bytes, ..
+                } => (*group_id, *bytes),
+                CollOrigin::PipeHops { hops } => {
+                    (inst as u64, hops.iter().map(|&(_, _, b)| b).sum())
+                }
+            };
+            self.tracer
+                .collective_begin(self.now, coll, group, coll_kind(&origin), scheme, bytes);
+            if let Some(sw) = ina_switch {
+                let active = self.ina_active.get(&sw).copied().unwrap_or(0);
+                self.tracer
+                    .ina_session_begin(self.now, sw.0 as u64, coll, active as u32);
+            }
+        }
+        self.metrics.inc(self.obs.colls, 1);
         let mut exec = CollectiveExec::new(plan, TAG_COLL | coll);
         let progress = exec.start(&mut self.net, self.now);
         match progress {
             Progress::Done => {
-                self.release_ina(ina_switch);
+                self.tracer
+                    .collective_end(self.now, coll, coll_kind(&origin));
+                self.release_ina(ina_switch, coll);
                 false
             }
             Progress::InFlight => {
@@ -867,21 +992,27 @@ impl ClusterSim {
             }
             Progress::Done => {
                 let state = self.colls.remove(&coll).expect("collective state");
-                self.release_ina(state.ina_switch);
+                self.tracer
+                    .collective_end(self.now, coll, coll_kind(&state.origin));
+                self.release_ina(state.ina_switch, coll);
                 self.coll_finished_for_instance(state.inst);
             }
         }
     }
 
-    fn release_ina(&mut self, sw: Option<NodeId>) {
+    /// Release `job`'s aggregation slot on `sw` (if any) and admit one
+    /// waiting collective.
+    fn release_ina(&mut self, sw: Option<NodeId>, job: u64) {
         let Some(sw) = sw else { return };
+        self.tracer.ina_session_end(self.now, sw.0 as u64, job);
         let c = self.ina_active.entry(sw).or_insert(1);
         *c = c.saturating_sub(1);
         // Admit one waiting collective, if any.
         if let Some(q) = self.ina_waiting.get_mut(&sw) {
             if let Some(w) = q.pop_front() {
                 *self.ina_active.entry(sw).or_insert(0) += 1;
-                let counted = self.launch_plan(w.inst, w.plan, Some(w.switch), w.origin, None);
+                let counted =
+                    self.launch_plan(w.inst, w.plan, Some(w.switch), w.origin, None, None);
                 if !counted {
                     // Instantly done (degenerate plan): close it out.
                     self.coll_finished_for_instance(w.inst);
@@ -920,6 +1051,7 @@ impl ClusterSim {
                     let r = &mut self.reqs[id.0 as usize];
                     r.prefill_done = Some(self.now);
                     r.phase = ReqPhase::AwaitingAdmission;
+                    self.tracer.request_phase_end(self.now, id.0, "prefill");
                     self.try_admit(id, inst);
                 }
                 self.kick_prefill();
@@ -937,6 +1069,16 @@ impl ClusterSim {
                         r.phase = ReqPhase::Done;
                         r.finished = Some(self.now);
                         finished_reqs.push(*id);
+                        let ttft = r.ttft_secs().unwrap_or(0.0);
+                        let latency = self.now.saturating_since(r.req.arrival).as_secs_f64();
+                        let tpot = r.tpot_secs();
+                        self.tracer.request_phase_end(self.now, id.0, "decode");
+                        self.tracer.request_done(self.now, id.0, ttft, latency);
+                        self.metrics.inc(self.obs.completed, 1);
+                        self.metrics.observe(self.obs.ttft, ttft);
+                        if let Some(tp) = tpot {
+                            self.metrics.observe(self.obs.tpot, tp);
+                        }
                     }
                 }
                 self.kv[kv_idx].materialize(live_growth);
@@ -985,6 +1127,8 @@ impl ClusterSim {
         let r = &mut self.reqs[id.0 as usize];
         r.decode_instance = Some(self.decode_offset + d);
         r.phase = ReqPhase::TransferringKv;
+        self.tracer
+            .request_phase_begin(self.now, id.0, "kv_transfer");
         let input_tokens = r.req.input_tokens as u64;
         self.kv[d].materialize(input_tokens);
         // KV transfer: one flow from a prefill GPU to a decode GPU
@@ -1032,6 +1176,8 @@ impl ClusterSim {
         let r = &mut self.reqs[id.0 as usize];
         r.phase = ReqPhase::Decoding;
         r.decode_start = Some(self.now);
+        self.tracer.request_phase_end(self.now, id.0, "kv_transfer");
+        self.tracer.request_phase_begin(self.now, id.0, "decode");
         let inst = r.decode_instance.expect("admitted request has instance");
         self.instances[inst].joining.push(id);
         if self.instances[inst].phase == InstPhase::Idle {
@@ -1194,6 +1340,18 @@ mod tests {
         scheme: Scheme,
         faults: FaultPlan,
     ) -> (SimReport, usize) {
+        let (mut sim, n) = build_sim(rate, horizon_s, scheme, faults);
+        // Give the tail room to drain.
+        let report = sim.run(SimTime::from_secs(horizon_s + 30));
+        (report, n)
+    }
+
+    fn build_sim(
+        rate: f64,
+        horizon_s: u64,
+        scheme: Scheme,
+        faults: FaultPlan,
+    ) -> (ClusterSim, usize) {
         let t = testbed();
         let model = ModelConfig::opt_13b();
         let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
@@ -1226,10 +1384,8 @@ mod tests {
         );
         let n = trace.len();
         let strategy = StaticStrategy::uniform("test", scheme, BusyPolicy::FallbackRing);
-        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
-        // Give the tail room to drain.
-        let report = sim.run(SimTime::from_secs(horizon_s + 30));
-        (report, n)
+        let sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        (sim, n)
     }
 
     #[test]
@@ -1370,6 +1526,115 @@ mod tests {
             stalled.mean_tpot_s,
             healthy.mean_tpot_s
         );
+    }
+
+    /// The tracer and registry are observation-only: attaching them must
+    /// not change any report number, and the recorded stream must carry
+    /// the full request lifecycle plus fault activity.
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let t = testbed();
+        let sw = t.access_switches[0];
+        let faults = || FaultPlan::switch_outage(sw, SimTime::from_secs(5), SimTime::from_secs(9));
+        let horizon = SimTime::from_secs(50);
+
+        let (mut plain, _) = build_sim(2.0, 20, Scheme::Ina { switch: sw }, faults());
+        let rep_plain = plain.run(horizon);
+
+        let (mut traced, _) = build_sim(2.0, 20, Scheme::Ina { switch: sw }, faults());
+        let tracer = hs_obs::Tracer::recording();
+        let metrics = hs_obs::MetricsRegistry::recording();
+        traced.set_obs(&tracer, &metrics);
+        let rep_traced = traced.run(horizon);
+
+        assert_eq!(rep_plain.completed, rep_traced.completed);
+        assert_eq!(rep_plain.arrived, rep_traced.arrived);
+        assert_eq!(rep_plain.mean_ttft_s, rep_traced.mean_ttft_s);
+        assert_eq!(rep_plain.mean_tpot_s, rep_traced.mean_tpot_s);
+        assert_eq!(rep_plain.eth_bytes, rep_traced.eth_bytes);
+        assert_eq!(rep_plain.nvlink_bytes, rep_traced.nvlink_bytes);
+        assert_eq!(rep_plain.aborted_flows, rep_traced.aborted_flows);
+        assert_eq!(rep_plain.flow_retries, rep_traced.flow_retries);
+        assert_eq!(rep_plain.ina_failovers, rep_traced.ina_failovers);
+
+        let recs = tracer.records();
+        let has = |n: &str| recs.iter().any(|r| r.name == n);
+        for name in [
+            "arrival",
+            "queued",
+            "prefill",
+            "kv_transfer",
+            "decode",
+            "done",
+            "allreduce",
+            "flow_start",
+            "inject",
+            "recover",
+            "link_scale",
+        ] {
+            assert!(has(name), "trace is missing {name:?} events");
+        }
+        assert_eq!(
+            metrics.counter_value("requests_arrived"),
+            Some(rep_traced.arrived as u64)
+        );
+        assert_eq!(
+            metrics.counter_value("requests_completed"),
+            Some(rep_traced.completed as u64)
+        );
+        assert!(metrics.counter_value("fault_events").unwrap() > 0);
+        assert!(!metrics.link_util_series().is_empty());
+        let ttft = metrics.histogram_view("ttft_s").unwrap();
+        assert_eq!(ttft.total, rep_traced.completed as u64);
+    }
+
+    /// A run with zero arrivals must report zeros, not NaNs — the bench
+    /// harness serializes every summary float straight into JSON.
+    #[test]
+    fn zero_arrival_run_reports_finite_zeros() {
+        let t = testbed();
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 2.5,
+            tpot_sla_s: 0.15,
+            prefill: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone())],
+            decode: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone())],
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+            faults: FaultPlan::none(),
+        };
+        let empty = Trace { requests: vec![] };
+        let strategy = StaticStrategy::uniform("idle", Scheme::Ring, BusyPolicy::FallbackRing);
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &empty, Box::new(strategy));
+        let rep = sim.run(SimTime::from_secs(10));
+        assert_eq!(rep.arrived, 0);
+        assert_eq!(rep.completed, 0);
+        assert!(rep.per_request.is_empty());
+        assert_eq!(rep.fault_window_attainment, None);
+        for (name, v) in [
+            ("offered_rate", rep.offered_rate),
+            ("sla_attainment", rep.sla_attainment),
+            ("mean_ttft_s", rep.mean_ttft_s),
+            ("p90_ttft_s", rep.p90_ttft_s),
+            ("mean_tpot_s", rep.mean_tpot_s),
+            ("p90_tpot_s", rep.p90_tpot_s),
+            ("goodput_rps", rep.goodput_rps),
+            ("mean_reroute_s", rep.mean_reroute_s),
+            ("eth_bytes", rep.eth_bytes),
+            ("nvlink_bytes", rep.nvlink_bytes),
+        ] {
+            assert!(v.is_finite(), "{name} is not finite: {v}");
+            assert_eq!(v, 0.0, "{name} should be zero on an empty run");
+        }
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub trait CommStrategy {
     /// cross dead links.
     fn on_fault(&mut self, _kind: &FaultKind, _now: SimTime) {}
 
+    /// Attach a tracer for decision-audit events (policy selections,
+    /// charges, refreshes). Strategies with nothing to audit ignore it.
+    fn attach_tracer(&mut self, _tracer: &hs_obs::Tracer) {}
+
     /// Name for reports.
     fn name(&self) -> &str;
 }

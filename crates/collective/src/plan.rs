@@ -36,6 +36,18 @@ pub enum Scheme {
     },
 }
 
+impl Scheme {
+    /// Static scheme name (switch-agnostic), for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Ring => "Ring",
+            Scheme::Ina { .. } => "Ina",
+            Scheme::HierRing => "HierRing",
+            Scheme::HierIna { .. } => "HierIna",
+        }
+    }
+}
+
 /// One phase: transfers that run concurrently, then an optional fixed
 /// delay before the next phase (e.g. switch aggregation).
 #[derive(Clone, Debug, Default)]

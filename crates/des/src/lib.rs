@@ -29,5 +29,5 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::{stream_rng, SeedSplitter};
-pub use sim::{EventHandler, Simulation};
+pub use sim::{ClockError, EventHandler, Simulation};
 pub use time::{SimSpan, SimTime};

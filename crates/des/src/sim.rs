@@ -5,6 +5,8 @@
 //! runner exists for self-contained models and for tests, and demonstrates
 //! the canonical handler pattern.
 
+use std::fmt;
+
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -17,6 +19,35 @@ pub trait EventHandler {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
+/// An attempt to schedule an event before the current clock.
+///
+/// Release builds used to accept these silently (the guard was a
+/// `debug_assert!`), which let a buggy model time-travel: the event would
+/// fire "now" but with a stale timestamp, corrupting every latency derived
+/// from it. External scheduling now surfaces the error; events a *handler*
+/// pushes into the past are clamped to the clock and counted (see
+/// [`Simulation::clock_violations`]) so a long run degrades loudly instead
+/// of deadlocking mid-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockError {
+    /// The clock at the time of the attempt.
+    pub now: SimTime,
+    /// The (past) time the event asked for.
+    pub event_time: SimTime,
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event scheduled into the past: t={} < now={}",
+            self.event_time, self.now
+        )
+    }
+}
+
+impl std::error::Error for ClockError {}
+
 /// Drives an [`EventHandler`] until the queue drains or a horizon is hit.
 pub struct Simulation<M: EventHandler> {
     /// The model under simulation.
@@ -24,6 +55,7 @@ pub struct Simulation<M: EventHandler> {
     /// Pending events.
     pub queue: EventQueue<M::Event>,
     now: SimTime,
+    clock_violations: u64,
 }
 
 impl<M: EventHandler> Simulation<M> {
@@ -33,6 +65,7 @@ impl<M: EventHandler> Simulation<M> {
             model,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            clock_violations: 0,
         }
     }
 
@@ -41,10 +74,24 @@ impl<M: EventHandler> Simulation<M> {
         self.now
     }
 
-    /// Schedule an initial/external event.
-    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
-        debug_assert!(time >= self.now, "scheduling into the past");
+    /// How many events a handler pushed into the past; each was clamped to
+    /// fire at the then-current clock instead. Zero in a healthy model.
+    pub fn clock_violations(&self) -> u64 {
+        self.clock_violations
+    }
+
+    /// Schedule an initial/external event. Fails if `time` is already in
+    /// the past — the caller chose the timestamp, so it can pick a valid
+    /// one; silently accepting it would fire the event with a stale clock.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) -> Result<(), ClockError> {
+        if time < self.now {
+            return Err(ClockError {
+                now: self.now,
+                event_time: time,
+            });
+        }
         self.queue.push(time, event);
+        Ok(())
     }
 
     /// Run until the queue is empty. Returns the final clock value.
@@ -56,6 +103,11 @@ impl<M: EventHandler> Simulation<M> {
     /// `horizon`. Events at exactly `horizon` are processed. Returns the
     /// clock, which is `min(last event time, horizon)` when the horizon cut
     /// the run short.
+    ///
+    /// Queue entries behind the clock (a handler pushed into the past) are
+    /// clamped to fire at the current clock and counted in
+    /// [`clock_violations`](Self::clock_violations) rather than rewinding
+    /// time.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
@@ -63,20 +115,27 @@ impl<M: EventHandler> Simulation<M> {
                 return self.now;
             }
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(t >= self.now, "event queue went backwards");
-            self.now = t;
-            self.model.handle(t, ev, &mut self.queue);
+            if t < self.now {
+                self.clock_violations += 1;
+            } else {
+                self.now = t;
+            }
+            self.model.handle(self.now, ev, &mut self.queue);
         }
         self.now
     }
 
-    /// Process exactly one event, if any. Returns its firing time.
+    /// Process exactly one event, if any. Returns the time it fired at
+    /// (clamped to the clock if it was scheduled into the past).
     pub fn step(&mut self) -> Option<SimTime> {
         let (t, ev) = self.queue.pop()?;
-        debug_assert!(t >= self.now);
-        self.now = t;
-        self.model.handle(t, ev, &mut self.queue);
-        Some(t)
+        if t < self.now {
+            self.clock_violations += 1;
+        } else {
+            self.now = t;
+        }
+        self.model.handle(self.now, ev, &mut self.queue);
+        Some(self.now)
     }
 }
 
@@ -111,11 +170,12 @@ mod tests {
             remaining: 4,
             period: SimSpan::from_secs(1),
         });
-        sim.schedule(SimTime::ZERO, ());
+        sim.schedule(SimTime::ZERO, ()).unwrap();
         let end = sim.run();
         assert_eq!(end, SimTime::from_secs(4));
         assert_eq!(sim.model.ticks.len(), 5);
         assert_eq!(sim.model.ticks[3], SimTime::from_secs(3));
+        assert_eq!(sim.clock_violations(), 0);
     }
 
     #[test]
@@ -125,7 +185,7 @@ mod tests {
             remaining: 100,
             period: SimSpan::from_secs(1),
         });
-        sim.schedule(SimTime::ZERO, ());
+        sim.schedule(SimTime::ZERO, ()).unwrap();
         let end = sim.run_until(SimTime::from_secs(10));
         // Events at t=0..=10 fire (11 ticks); the t=11 event stays queued.
         assert_eq!(sim.model.ticks.len(), 11);
@@ -140,11 +200,84 @@ mod tests {
             remaining: 2,
             period: SimSpan::from_millis(10),
         });
-        sim.schedule(SimTime::from_millis(1), ());
+        sim.schedule(SimTime::from_millis(1), ()).unwrap();
         assert_eq!(sim.step(), Some(SimTime::from_millis(1)));
         assert_eq!(sim.model.ticks.len(), 1);
         assert_eq!(sim.step(), Some(SimTime::from_millis(11)));
         assert_eq!(sim.step(), Some(SimTime::from_millis(21)));
         assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn scheduling_into_the_past_is_an_error() {
+        let mut sim = Simulation::new(Ticker {
+            ticks: vec![],
+            remaining: 0,
+            period: SimSpan::from_secs(1),
+        });
+        sim.schedule(SimTime::from_secs(5), ()).unwrap();
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        let err = sim.schedule(SimTime::from_secs(3), ()).unwrap_err();
+        assert_eq!(err.now, SimTime::from_secs(5));
+        assert_eq!(err.event_time, SimTime::from_secs(3));
+        assert!(err.to_string().contains("into the past"));
+        // Scheduling exactly at the clock is fine.
+        sim.schedule(SimTime::from_secs(5), ()).unwrap();
+    }
+
+    /// A handler that misbehaves: pushes one follow-up event *behind* the
+    /// clock. The runner must clamp it, not rewind.
+    struct TimeTraveler {
+        ticks: Vec<SimTime>,
+        pushed_bad: bool,
+    }
+
+    impl EventHandler for TimeTraveler {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+            self.ticks.push(now);
+            if !self.pushed_bad {
+                self.pushed_bad = true;
+                queue.push(SimTime::ZERO, ()); // into the past
+                queue.push(now + SimSpan::from_secs(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_clamps_past_events_and_counts_violations() {
+        let mut sim = Simulation::new(TimeTraveler {
+            ticks: vec![],
+            pushed_bad: false,
+        });
+        sim.schedule(SimTime::from_secs(10), ()).unwrap();
+        let end = sim.run();
+        // The t=0 push fires clamped at t=10; the clock never goes back.
+        assert_eq!(
+            sim.model.ticks,
+            vec![
+                SimTime::from_secs(10),
+                SimTime::from_secs(10),
+                SimTime::from_secs(11),
+            ]
+        );
+        assert_eq!(end, SimTime::from_secs(11));
+        assert_eq!(sim.clock_violations(), 1);
+    }
+
+    #[test]
+    fn step_clamps_past_events_and_counts_violations() {
+        let mut sim = Simulation::new(TimeTraveler {
+            ticks: vec![],
+            pushed_bad: false,
+        });
+        sim.schedule(SimTime::from_secs(10), ()).unwrap();
+        assert_eq!(sim.step(), Some(SimTime::from_secs(10)));
+        // Next queued event is the bad t=0 push; it fires at the clock.
+        assert_eq!(sim.step(), Some(SimTime::from_secs(10)));
+        assert_eq!(sim.clock_violations(), 1);
+        assert_eq!(sim.step(), Some(SimTime::from_secs(11)));
     }
 }

@@ -61,10 +61,26 @@ struct PolicyTable {
     f: Vec<Vec<f64>>,
     /// Selections per policy (diagnostics/ablation).
     picks: Vec<u64>,
+    /// Per-link capacities (bits/s) from the fabric graph, indexed by
+    /// dense `LinkId` — Eq. 18's `B(e)` weights.
+    link_caps: Vec<f64>,
+    /// When virtual costs were last decayed (see [`Self::decay_to`]).
+    last_decay: SimTime,
+}
+
+/// One Eq. 16 `select()` outcome with its audit trail.
+struct Selection {
+    idx: usize,
+    /// The winning objective `J(c*, D) = b_{c*} + δ`.
+    j: f64,
+    /// The δ term of the winner.
+    delta: f64,
+    /// Candidates skipped because they crossed a dead link.
+    dead_skipped: usize,
 }
 
 impl PolicyTable {
-    fn new(policies: Vec<Policy>) -> Self {
+    fn new(policies: Vec<Policy>, link_caps: Vec<f64>) -> Self {
         let n = policies.len();
         // Initialize f with the *structural* sharing ratio (capacity
         // weighted); Eq. 18 refreshes it with live utilization later.
@@ -72,7 +88,7 @@ impl PolicyTable {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    f[i][j] = sharing_ratio(&policies[i], &policies[j], None);
+                    f[i][j] = sharing_ratio(&policies[i], &policies[j], &link_caps, None);
                 }
             }
         }
@@ -80,7 +96,28 @@ impl PolicyTable {
             b: vec![0.0; n],
             f,
             picks: vec![0; n],
+            link_caps,
+            last_decay: SimTime::ZERO,
             policies,
+        }
+    }
+
+    /// Expire virtual charges older than the estimation window. A charge
+    /// models a transfer occupying its links for roughly `T_u` seconds
+    /// (that is δ's denominator), so costs decay exponentially with time
+    /// constant `T_u` between selections. Without this, a slow or absent
+    /// control-plane `refresh()` lets `b` grow without bound and the
+    /// `(j / QUANTUM)` bucket in `select()` saturates, degenerating the
+    /// argmin into pure latency tie-breaking.
+    fn decay_to(&mut self, now: SimTime, t_u: f64) {
+        let dt = now.saturating_since(self.last_decay).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        self.last_decay = now;
+        let k = (-dt / t_u.max(1e-9)).exp();
+        for b in &mut self.b {
+            *b *= k;
         }
     }
 
@@ -91,26 +128,38 @@ impl PolicyTable {
     /// scheme" when nothing is loaded).
     /// Policies crossing a dead link are infinite-cost — skipped outright
     /// so Eq. 16 routes around faults. `None` iff every candidate is dead.
-    fn select(&self, bytes: u64, t_u: f64, dead: &FxHashSet<LinkId>) -> Option<usize> {
+    fn select(&self, bytes: u64, t_u: f64, dead: &FxHashSet<LinkId>) -> Option<Selection> {
         const QUANTUM: f64 = 0.10;
-        let mut best = None;
+        let mut best: Option<Selection> = None;
         let mut best_key = (usize::MAX, f64::INFINITY);
+        let mut dead_skipped = 0;
         for (i, p) in self.policies.iter().enumerate() {
             if !dead.is_empty() && p.links.iter().any(|l| dead.contains(l)) {
+                dead_skipped += 1;
                 continue;
             }
-            let j = self.b[i] + delta(p, bytes, t_u);
+            let d = delta(p, bytes, t_u);
+            let j = self.b[i] + d;
             let key = ((j / QUANTUM) as usize, p.base_latency_s);
             if best.is_none() || key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
                 best_key = key;
-                best = Some(i);
+                best = Some(Selection {
+                    idx: i,
+                    j,
+                    delta: d,
+                    dead_skipped: 0,
+                });
             }
         }
-        best
+        best.map(|mut s| {
+            s.dead_skipped = dead_skipped;
+            s
+        })
     }
 
     /// Eq. 17: charge the chosen policy and penalize the sharers.
-    fn charge(&mut self, chosen: usize, bytes: u64, t_u: f64) {
+    /// Returns the δ charged to the winner.
+    fn charge(&mut self, chosen: usize, bytes: u64, t_u: f64) -> f64 {
         let d = delta(&self.policies[chosen], bytes, t_u);
         for i in 0..self.b.len() {
             if i == chosen {
@@ -120,6 +169,12 @@ impl PolicyTable {
             }
         }
         self.picks[chosen] += 1;
+        d
+    }
+
+    /// Largest virtual cost in the table (trace diagnostics).
+    fn max_b(&self) -> f64 {
+        self.b.iter().copied().fold(0.0, f64::max)
     }
 
     /// Eq. 18 + measurement sync.
@@ -128,7 +183,12 @@ impl PolicyTable {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    let w = sharing_ratio(&self.policies[i], &self.policies[j], Some(link_util));
+                    let w = sharing_ratio(
+                        &self.policies[i],
+                        &self.policies[j],
+                        &self.link_caps,
+                        Some(link_util),
+                    );
                     self.f[i][j] = (1.0 - gamma) * self.f[i][j] + gamma * w;
                 }
             }
@@ -154,21 +214,25 @@ fn delta(p: &Policy, bytes: u64, t_u: f64) -> f64 {
 
 /// `W_{(c*,c)}`: how much of `c`'s route the chosen policy `c*` loads.
 /// With `util`, links are weighted by `capacity × utilization` as the
-/// paper monitors; without, by capacity (structural prior).
-fn sharing_ratio(chosen: &Policy, other: &Policy, util: Option<&[f64]>) -> f64 {
-    let weight = |l: hs_topology::LinkId, cap: f64| -> f64 {
+/// paper monitors; without, by capacity alone (structural prior). The
+/// capacity weights matter on heterogeneous routes: a shared 600 Gb/s
+/// NVLink hop carries far more of `c`'s traffic than a shared 100 Gb/s
+/// Ethernet hop, so it must dominate the ratio.
+fn sharing_ratio(chosen: &Policy, other: &Policy, caps: &[f64], util: Option<&[f64]>) -> f64 {
+    let weight = |l: hs_topology::LinkId| -> f64 {
+        // Unknown links (stale table vs. grown graph) weigh as 1.0 so the
+        // ratio stays defined instead of silently vanishing.
+        let cap = caps.get(l.idx()).copied().unwrap_or(1.0);
         match util {
             Some(u) => cap * u.get(l.idx()).copied().unwrap_or(0.0).max(0.05),
             None => cap,
         }
     };
-    // `other.links` is sorted; binary search for intersection. Links are
-    // weighted uniformly within a policy (per-class fabrics make capacity
-    // weighting a constant factor that cancels in the ratio).
+    // `other.links` is sorted; binary search for intersection.
     let mut shared = 0.0;
     let mut total = 0.0;
     for &l in &other.links {
-        let w = weight(l, 1.0);
+        let w = weight(l);
         total += w;
         if chosen.links.binary_search(&l).is_ok() {
             shared += w;
@@ -195,6 +259,8 @@ pub struct HeroScheduler {
     /// Links currently out of service (fault notifications). Policies and
     /// routes crossing them are treated as infinite-cost.
     dead_links: FxHashSet<LinkId>,
+    /// Decision-audit sink; no-op unless attached via `attach_tracer`.
+    tracer: hs_obs::Tracer,
 }
 
 impl HeroScheduler {
@@ -212,6 +278,7 @@ impl HeroScheduler {
             link_util,
             route_cache: FxHashMap::default(),
             dead_links: FxHashSet::default(),
+            tracer: hs_obs::Tracer::noop(),
         }
     }
 
@@ -256,7 +323,8 @@ impl HeroScheduler {
             if pols.is_empty() {
                 return None;
             }
-            self.tables.insert(group_id, PolicyTable::new(pols));
+            self.tables
+                .insert(group_id, PolicyTable::new(pols, self.graph.capacities()));
         }
         self.tables.get_mut(&group_id)
     }
@@ -272,13 +340,38 @@ impl CommStrategy for HeroScheduler {
             .tables
             .get_mut(&ctx.group_id)
             .expect("table just built");
-        let Some(chosen) = table.select(ctx.bytes, t_u, &self.dead_links) else {
+        table.decay_to(ctx.now, t_u);
+        let n_candidates = table.policies.len();
+        let Some(sel) = table.select(ctx.bytes, t_u, &self.dead_links) else {
             // Every candidate crosses a dead link: degrade to the plain
             // host-side ring and let retries ride out the fault.
+            self.tracer.policy_selected(
+                ctx.now,
+                ctx.group_id,
+                "Ring(degraded)",
+                f64::INFINITY,
+                0.0,
+                n_candidates,
+                n_candidates,
+                ctx.bytes,
+            );
             return Scheme::Ring;
         };
-        table.charge(chosen, ctx.bytes, t_u);
-        table.policies[chosen].scheme
+        let scheme = table.policies[sel.idx].scheme;
+        self.tracer.policy_selected(
+            ctx.now,
+            ctx.group_id,
+            scheme.label(),
+            sel.j,
+            sel.delta,
+            n_candidates,
+            sel.dead_skipped,
+            ctx.bytes,
+        );
+        let d = table.charge(sel.idx, ctx.bytes, t_u);
+        self.tracer
+            .policy_charged(ctx.now, ctx.group_id, sel.idx, d, table.max_b());
+        scheme
     }
 
     fn busy_policy(&self) -> BusyPolicy {
@@ -342,11 +435,15 @@ impl CommStrategy for HeroScheduler {
             .cloned()
     }
 
-    fn on_monitor(&mut self, link_util: &[f64], _now: SimTime) {
+    fn on_monitor(&mut self, link_util: &[f64], now: SimTime) {
         self.link_util.clear();
         self.link_util.extend_from_slice(link_util);
-        for table in self.tables.values_mut() {
+        for (&gid, table) in self.tables.iter_mut() {
+            // Refresh syncs b to measured utilization, superseding any
+            // pending select-time decay.
+            table.last_decay = now;
             table.refresh(link_util, self.params.gamma, self.params.kappa);
+            self.tracer.table_refreshed(now, gid, table.max_b());
         }
     }
 
@@ -396,6 +493,10 @@ impl CommStrategy for HeroScheduler {
     fn name(&self) -> &str {
         "HeroServe"
     }
+
+    fn attach_tracer(&mut self, tracer: &hs_obs::Tracer) {
+        self.tracer = tracer.clone();
+    }
 }
 
 #[cfg(test)]
@@ -404,7 +505,7 @@ mod tests {
     use hs_topology::builders::testbed;
     use hs_topology::LinkWeight;
 
-    fn scheduler() -> (
+    pub(super) fn scheduler() -> (
         HeroScheduler,
         Vec<NodeId>,
         hs_topology::builders::BuiltTopology,
@@ -421,7 +522,7 @@ mod tests {
         )
     }
 
-    fn ctx<'a>(group: &'a [NodeId], util: &'a [f64], bytes: u64) -> CommCtx<'a> {
+    pub(super) fn ctx<'a>(group: &'a [NodeId], util: &'a [f64], bytes: u64) -> CommCtx<'a> {
         CommCtx {
             group_id: 1,
             group,
@@ -555,6 +656,133 @@ mod tests {
         );
     }
 
+    /// A policy over the given links with neutral cost constants.
+    fn policy_over(links: Vec<LinkId>) -> Policy {
+        Policy {
+            scheme: Scheme::Ring,
+            links,
+            max_link_secs_per_byte: 1e-10,
+            base_latency_s: 1e-3,
+        }
+    }
+
+    #[test]
+    fn shared_nvlink_dominates_shared_ethernet_in_sharing_ratio() {
+        // `other` crosses one NVLink-class link (600 Gb/s) and one
+        // Ethernet link (100 Gb/s). A chooser sharing only the NVLink hop
+        // loads 6/7 of `other`'s capacity-weighted route; sharing only the
+        // Ethernet hop loads 1/7. The pre-fix code weighted both 0.5.
+        let nv = LinkId(0);
+        let eth = LinkId(1);
+        let caps = vec![600e9, 100e9];
+        let other = policy_over(vec![nv, eth]);
+        let share_nv = sharing_ratio(&policy_over(vec![nv]), &other, &caps, None);
+        let share_eth = sharing_ratio(&policy_over(vec![eth]), &other, &caps, None);
+        assert!(
+            (share_nv - 6.0 / 7.0).abs() < 1e-12,
+            "NVLink share should be 6/7, got {share_nv}"
+        );
+        assert!(
+            (share_eth - 1.0 / 7.0).abs() < 1e-12,
+            "Ethernet share should be 1/7, got {share_eth}"
+        );
+        assert!(share_nv > share_eth * 5.0);
+
+        // With utilization the capacity weighting persists: equal util on
+        // both links must not wash out the 6:1 capacity asymmetry.
+        let util = vec![0.5, 0.5];
+        let share_nv_u = sharing_ratio(&policy_over(vec![nv]), &other, &caps, Some(&util));
+        let share_eth_u = sharing_ratio(&policy_over(vec![eth]), &other, &caps, Some(&util));
+        assert!((share_nv_u - 6.0 / 7.0).abs() < 1e-12);
+        assert!(share_nv_u > share_eth_u * 5.0);
+    }
+
+    #[test]
+    fn tables_use_real_graph_capacities() {
+        let (mut s, group, t) = scheduler();
+        let util = vec![0.0; t.graph.link_count()];
+        s.choose(&ctx(&group, &util, 1024));
+        let table = s.tables.get(&1).unwrap();
+        assert_eq!(table.link_caps, t.graph.capacities());
+        assert!(
+            table.link_caps.iter().any(|&c| c > 200e9)
+                && table.link_caps.iter().any(|&c| c < 200e9),
+            "testbed should mix NVLink and Ethernet capacities"
+        );
+    }
+
+    #[test]
+    fn virtual_costs_stay_bounded_over_refresh_free_run() {
+        let (mut s, group, _) = scheduler();
+        let util = vec![];
+        // Long run with *no* on_monitor refresh: selections every 10 ms,
+        // estimation window 50 ms. Before the select-time decay, every
+        // charge accumulated forever and b diverged linearly.
+        let mut max_b = 0.0f64;
+        for i in 0..10_000u64 {
+            let now = SimTime::from_millis(10 * i);
+            let c = CommCtx {
+                group_id: 1,
+                group: &group,
+                bytes: 64 << 20,
+                now,
+                link_util: &util,
+            };
+            s.choose(&c);
+            let table = s.tables.get(&1).unwrap();
+            for &b in &table.b {
+                assert!(b.is_finite() && b >= 0.0, "b went bad: {b}");
+                max_b = max_b.max(b);
+            }
+        }
+        // Steady state: per-step charge is delta ≈ bytes·secs_per_byte/T_u,
+        // decayed by exp(-dt/T_u) each step. The geometric sum converges to
+        // delta/(1-exp(-0.2)) — a small constant, nowhere near the
+        // thousands an undecayed table reaches over 100 s of selections.
+        assert!(
+            max_b < 50.0,
+            "virtual costs should stay bounded without refresh, got {max_b}"
+        );
+    }
+
+    #[test]
+    fn decay_is_noop_at_same_timestamp() {
+        let (mut s, group, _) = scheduler();
+        let util = vec![];
+        s.choose(&ctx(&group, &util, 64 << 20));
+        let before = s.tables.get(&1).unwrap().b.clone();
+        // Same now: decay_to must not touch b before select.
+        let table = s.tables.get_mut(&1).unwrap();
+        table.decay_to(SimTime::ZERO, 0.05);
+        assert_eq!(s.tables.get(&1).unwrap().b, before);
+    }
+
+    #[test]
+    fn choose_emits_policy_audit_events() {
+        let (mut s, group, t) = scheduler();
+        let tracer = hs_obs::Tracer::recording();
+        s.attach_tracer(&tracer);
+        let util = vec![0.0; t.graph.link_count()];
+        let scheme = s.choose(&ctx(&group, &util, 1 << 20));
+        s.on_monitor(&util, SimTime::from_millis(100));
+        let recs = tracer.records();
+        let select = recs
+            .iter()
+            .find(|r| r.name == "policy_select")
+            .expect("select audit event");
+        assert_eq!(
+            select.arg("scheme").and_then(hs_obs::Val::as_str),
+            Some(scheme.label())
+        );
+        let j = select
+            .arg("j")
+            .and_then(hs_obs::Val::as_f64)
+            .expect("J value present");
+        assert!(j.is_finite() && j >= 0.0);
+        assert!(recs.iter().any(|r| r.name == "policy_charge"));
+        assert!(recs.iter().any(|r| r.name == "table_refresh"));
+    }
+
     #[test]
     fn sharing_ratio_bounds() {
         let (mut s, group, t) = scheduler();
@@ -570,6 +798,73 @@ mod tests {
         // superset direction; self-entries are zero by construction.
         for i in 0..table.f.len() {
             assert_eq!(table.f[i][i], 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::{ctx, scheduler};
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `select()` never returns a policy crossing a dead link, for any
+        /// dead-link subset and any transfer size.
+        #[test]
+        fn select_never_crosses_dead_links(
+            mask in 0u64..(1 << 16),
+            bytes in 0u64..(1 << 40),
+        ) {
+            let (mut s, group, _) = scheduler();
+            s.choose(&ctx(&group, &[], 1024)); // force table build
+            let table = s.tables.get(&1).unwrap();
+            let mut links: Vec<LinkId> = table
+                .policies
+                .iter()
+                .flat_map(|p| p.links.iter().copied())
+                .collect();
+            links.sort_unstable();
+            links.dedup();
+            let dead: FxHashSet<LinkId> = links
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1u64 << (i % 64)) != 0)
+                .map(|(_, &l)| l)
+                .collect();
+            if let Some(sel) = table.select(bytes, 0.05, &dead) {
+                let p = &table.policies[sel.idx];
+                prop_assert!(
+                    p.links.iter().all(|l| !dead.contains(l)),
+                    "selected policy crosses a dead link"
+                );
+                prop_assert!(sel.j.is_finite());
+            }
+        }
+
+        /// `charge()` keeps every virtual cost finite and non-negative
+        /// under arbitrary byte volumes (including huge ones).
+        #[test]
+        fn charge_keeps_costs_finite(
+            byte_sizes in proptest::collection::vec(0u64..u64::MAX, 1..64),
+        ) {
+            let (mut s, group, _) = scheduler();
+            s.choose(&ctx(&group, &[], 1024));
+            let table = s.tables.get_mut(&1).unwrap();
+            let dead = FxHashSet::default();
+            let t_u = SchedulerParams::default().t_u_s;
+            for &bytes in &byte_sizes {
+                if let Some(sel) = table.select(bytes, t_u, &dead) {
+                    table.charge(sel.idx, bytes, t_u);
+                }
+                for &b in &table.b {
+                    prop_assert!(
+                        b.is_finite() && b >= 0.0,
+                        "b must stay finite and non-negative, got {}",
+                        b
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,118 @@
+//! The generic trace record all typed tracer methods lower into.
+//!
+//! Records deliberately mirror the Chrome trace-event model (phase + name +
+//! category + process/thread coordinates + args) so the exporter is a plain
+//! mapping, while staying self-describing enough for the JSONL log.
+
+use hs_des::SimTime;
+
+/// Event phase, a subset of the Chrome trace-event phases the simulators
+/// need: duration spans are `Begin`/`End` pairs on the same `(pid, tid)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ph {
+    /// Span start (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Point event (`"i"`).
+    Instant,
+    /// Sampled counter value (`"C"`).
+    Counter,
+}
+
+impl Ph {
+    /// The Chrome trace-event `ph` string.
+    pub fn chrome(self) -> &'static str {
+        match self {
+            Ph::Begin => "B",
+            Ph::End => "E",
+            Ph::Instant => "i",
+            Ph::Counter => "C",
+        }
+    }
+}
+
+/// Typed argument value attached to a record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Val {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::U64(v) => Some(*v as f64),
+            Val::I64(v) => Some(*v as f64),
+            Val::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Well-known process ids: each simulator layer gets its own top-level group
+/// in the Chrome trace viewer, with per-entity tracks (`tid`) inside it.
+pub mod track {
+    /// Request lifecycle spans; `tid` = request id.
+    pub const REQUESTS: u32 = 1;
+    /// Collective operations; `tid` = collective id.
+    pub const COLLECTIVES: u32 = 2;
+    /// Network flow + link events; `tid` = flow or link id.
+    pub const NETWORK: u32 = 3;
+    /// Online-scheduler policy audit; `tid` = policy-group id.
+    pub const SCHEDULER: u32 = 4;
+    /// In-network aggregation sessions; `tid` = switch id.
+    pub const SWITCH: u32 = 5;
+    /// Fault injection / recovery / reroute; `tid` = 0.
+    pub const FAULTS: u32 = 6;
+
+    /// Human-readable name for a process id (used for trace metadata).
+    pub fn name(pid: u32) -> &'static str {
+        match pid {
+            REQUESTS => "requests",
+            COLLECTIVES => "collectives",
+            NETWORK => "network",
+            SCHEDULER => "scheduler",
+            SWITCH => "switch",
+            FAULTS => "faults",
+            _ => "other",
+        }
+    }
+
+    /// All process ids the exporter should label.
+    pub const ALL: [u32; 6] = [REQUESTS, COLLECTIVES, NETWORK, SCHEDULER, SWITCH, FAULTS];
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Simulation timestamp.
+    pub t: SimTime,
+    pub ph: Ph,
+    /// Event name; static so hot paths never allocate for the common case.
+    pub name: &'static str,
+    /// Category tag (e.g. `"req"`, `"coll"`, `"net"`, `"policy"`).
+    pub cat: &'static str,
+    /// Process-level group, one of the [`track`] constants.
+    pub pid: u32,
+    /// Track within the group (request id, collective id, link id, ...).
+    pub tid: u64,
+    pub args: Vec<(&'static str, Val)>,
+}
+
+impl Record {
+    /// Look up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&Val> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}

@@ -1,0 +1,204 @@
+//! Trace exporters: Chrome trace-event JSON and compact JSONL.
+//!
+//! The Chrome format is the object form `{"traceEvents": [...]}` with
+//! timestamps in microseconds, loadable in `chrome://tracing` and Perfetto.
+//! Process-name metadata events label each simulator layer's group. The
+//! writers build JSON by hand so this crate stays dependency-free; the CI
+//! round-trip test parses the output back with the workspace `serde_json`.
+
+use std::fmt::Write as _;
+
+use crate::event::{track, Ph, Record, Val};
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Inf/NaN.
+        out.push_str("null");
+    }
+}
+
+fn write_val(out: &mut String, v: &Val) {
+    match v {
+        Val::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Val::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Val::F64(x) => write_f64(out, *x),
+        Val::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Val::Str(s) => escape_into(out, s),
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, Val)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, k);
+        out.push(':');
+        write_val(out, v);
+    }
+    out.push('}');
+}
+
+/// Render records as a Chrome trace-event JSON document.
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    // Label each layer's process so the viewer shows names, not bare pids.
+    for pid in track::ALL {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track::name(pid)
+        );
+    }
+    for rec in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        escape_into(&mut out, rec.name);
+        out.push_str(",\"cat\":");
+        escape_into(&mut out, rec.cat);
+        let _ = write!(out, ",\"ph\":\"{}\",\"ts\":", rec.ph.chrome());
+        write_f64(&mut out, rec.t.as_micros_f64());
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}", rec.pid, rec.tid);
+        if rec.ph == Ph::Instant {
+            // Thread-scoped instants render as arrows on their track.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":");
+        write_args(&mut out, &rec.args);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render records as JSONL: one compact object per line with nanosecond
+/// timestamps (exact, unlike the microsecond floats in the Chrome export).
+pub fn jsonl(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 80);
+    for rec in records {
+        let _ = write!(
+            out,
+            "{{\"t_ns\":{},\"ph\":\"{}\",\"name\":",
+            rec.t.as_nanos(),
+            rec.ph.chrome()
+        );
+        escape_into(&mut out, rec.name);
+        out.push_str(",\"cat\":");
+        escape_into(&mut out, rec.cat);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{},\"args\":", rec.pid, rec.tid);
+        write_args(&mut out, &rec.args);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use hs_des::SimTime;
+
+    fn sample_records() -> Vec<Record> {
+        let tr = Tracer::recording();
+        tr.request_arrived(SimTime::from_millis(1), 42, 128, 16);
+        tr.request_phase_begin(SimTime::from_millis(1), 42, "queued");
+        tr.request_phase_end(SimTime::from_millis(3), 42, "queued");
+        tr.policy_selected(
+            SimTime::from_millis(2),
+            9,
+            "HierIna",
+            0.625,
+            0.125,
+            4,
+            1,
+            1 << 20,
+        );
+        tr.link_util(SimTime::from_millis(4), 3, 0.75);
+        tr.warning(SimTime::from_millis(5), "clock \"clamp\"\n".into());
+        tr.records()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_serde_json() {
+        let doc = chrome_trace(&sample_records());
+        let v = serde_json::from_str(&doc).expect("exporter must emit valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // 6 process_name metadata records + 6 sample records.
+        assert_eq!(events.len(), 12);
+        let select = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("policy_select"))
+            .expect("policy_select event present");
+        assert_eq!(
+            select
+                .get("args")
+                .and_then(|a| a.get("j"))
+                .and_then(|j| j.as_f64()),
+            Some(0.625)
+        );
+        assert_eq!(select.get("ph").and_then(|p| p.as_str()), Some("i"));
+        // Timestamps are microseconds.
+        assert_eq!(select.get("ts").and_then(|t| t.as_f64()), Some(2000.0));
+    }
+
+    #[test]
+    fn jsonl_emits_one_valid_object_per_line() {
+        let recs = sample_records();
+        let doc = jsonl(&recs);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), recs.len());
+        for line in lines {
+            serde_json::from_str(line).expect("each JSONL line parses");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let doc = chrome_trace(&[]);
+        let v = serde_json::from_str(&doc).unwrap();
+        // Only the metadata labels remain.
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(|e| e.as_array())
+                .unwrap()
+                .len(),
+            track::ALL.len()
+        );
+        assert!(jsonl(&[]).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Structured tracing and metrics for the DES clock domain.
+//!
+//! Every simulator layer (network flows, cluster engine, online scheduler,
+//! INA switches) emits typed events through a shared [`Tracer`] handle. The
+//! tracer is a thin enum over a no-op sink and a shared in-memory buffer, so
+//! it is cheap enough to thread everywhere by default: a disabled tracer is
+//! one `Option` discriminant check per call site and allocates nothing.
+//!
+//! Collected records export two ways:
+//! - [`export::chrome_trace`]: Chrome-trace JSON loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - [`export::jsonl`]: one compact JSON object per line for ad-hoc grep /
+//!   pandas analysis.
+//!
+//! [`MetricsRegistry`] complements the event stream with counters, gauges,
+//! fixed-bucket histograms, periodic snapshots, and a per-link utilization
+//! time series sampled from `hs-simnet`'s monitor.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{track, Ph, Record, Val};
+pub use export::{chrome_trace, jsonl};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, HistogramView, LinkUtilSample, MetricsRegistry, Snapshot,
+};
+pub use tracer::Tracer;

@@ -1,0 +1,512 @@
+//! The `Tracer` handle threaded through every simulator layer.
+//!
+//! A tracer is either a no-op sink (the default: every emit is a single
+//! branch on a `None` discriminant) or a shared in-memory buffer behind an
+//! `Arc<Mutex<..>>` so that strategies boxed as `dyn CommStrategy + Send`
+//! and the engine can record into the same stream. Simulations are
+//! single-threaded per run, so the mutex is uncontended; it exists to make
+//! the handle `Send + Sync` without unsafe code.
+
+use std::sync::{Arc, Mutex};
+
+use hs_des::SimTime;
+
+use crate::event::{track, Ph, Record, Val};
+
+/// Cloneable tracing handle. Clones share one buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<Vec<Record>>>>,
+}
+
+impl Tracer {
+    /// A tracer that drops every event. This is the default everywhere a
+    /// tracer is not explicitly attached.
+    pub fn noop() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer that records events into a shared in-memory buffer.
+    pub fn recording() -> Self {
+        Tracer {
+            sink: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// Whether events are being recorded. Call sites that need to build
+    /// argument lists (allocation) should guard on this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Append a raw record. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, rec: Record) {
+        if let Some(sink) = &self.sink {
+            sink.lock().unwrap().push(rec);
+        }
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.sink.as_ref().map_or(0, |s| s.lock().unwrap().len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records collected so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.sink
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.lock().unwrap().clone())
+    }
+
+    /// Drain collected records, leaving the buffer empty.
+    pub fn take(&self) -> Vec<Record> {
+        self.sink
+            .as_ref()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut *s.lock().unwrap()))
+    }
+
+    // ------------------------------------------------------------------
+    // Generic span / instant / counter primitives.
+    // ------------------------------------------------------------------
+
+    pub fn begin(&self, t: SimTime, pid: u32, tid: u64, name: &'static str, cat: &'static str) {
+        self.emit(Record {
+            t,
+            ph: Ph::Begin,
+            name,
+            cat,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    pub fn end(&self, t: SimTime, pid: u32, tid: u64, name: &'static str, cat: &'static str) {
+        self.emit(Record {
+            t,
+            ph: Ph::End,
+            name,
+            cat,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    pub fn instant(
+        &self,
+        t: SimTime,
+        pid: u32,
+        tid: u64,
+        name: &'static str,
+        cat: &'static str,
+        args: Vec<(&'static str, Val)>,
+    ) {
+        self.emit(Record {
+            t,
+            ph: Ph::Instant,
+            name,
+            cat,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    pub fn counter(&self, t: SimTime, pid: u32, tid: u64, name: &'static str, value: f64) {
+        self.emit(Record {
+            t,
+            ph: Ph::Counter,
+            name,
+            cat: "counter",
+            pid,
+            tid,
+            args: vec![("value", Val::F64(value))],
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Request lifecycle: arrival → queued → prefill → kv_transfer → decode.
+    // ------------------------------------------------------------------
+
+    pub fn request_arrived(&self, t: SimTime, req: u64, input_tokens: u32, output_tokens: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::REQUESTS,
+            req,
+            "arrival",
+            "req",
+            vec![
+                ("input_tokens", Val::U64(input_tokens as u64)),
+                ("output_tokens", Val::U64(output_tokens as u64)),
+            ],
+        );
+    }
+
+    /// Begin a lifecycle phase span; `phase` is one of `"queued"`,
+    /// `"prefill"`, `"kv_transfer"`, `"decode"`.
+    pub fn request_phase_begin(&self, t: SimTime, req: u64, phase: &'static str) {
+        self.begin(t, track::REQUESTS, req, phase, "req");
+    }
+
+    pub fn request_phase_end(&self, t: SimTime, req: u64, phase: &'static str) {
+        self.end(t, track::REQUESTS, req, phase, "req");
+    }
+
+    pub fn request_done(&self, t: SimTime, req: u64, ttft_s: f64, latency_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::REQUESTS,
+            req,
+            "done",
+            "req",
+            vec![
+                ("ttft_s", Val::F64(ttft_s)),
+                ("latency_s", Val::F64(latency_s)),
+            ],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives.
+    // ------------------------------------------------------------------
+
+    pub fn collective_begin(
+        &self,
+        t: SimTime,
+        coll: u64,
+        group: u64,
+        kind: &'static str,
+        scheme: Option<&'static str>,
+        bytes: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut args = vec![("group", Val::U64(group)), ("bytes", Val::U64(bytes))];
+        if let Some(s) = scheme {
+            args.push(("scheme", Val::Str(s.to_owned())));
+        }
+        self.emit(Record {
+            t,
+            ph: Ph::Begin,
+            name: kind,
+            cat: "coll",
+            pid: track::COLLECTIVES,
+            tid: coll,
+            args,
+        });
+    }
+
+    pub fn collective_end(&self, t: SimTime, coll: u64, kind: &'static str) {
+        self.end(t, track::COLLECTIVES, coll, kind, "coll");
+    }
+
+    /// A collective lost flows to a fault and will be relaunched.
+    pub fn collective_abort(&self, t: SimTime, coll: u64, lost_flows: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::COLLECTIVES,
+            coll,
+            "abort",
+            "coll",
+            vec![("lost_flows", Val::U64(lost_flows as u64))],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Online-scheduler policy audit (Eqs. 16-18).
+    // ------------------------------------------------------------------
+
+    /// One `select()` decision: the chosen scheme, its Eq. 16 objective
+    /// `J = b_c + δ`, how many candidates were scored, and how many were
+    /// skipped because they crossed a dead link.
+    #[allow(clippy::too_many_arguments)]
+    pub fn policy_selected(
+        &self,
+        t: SimTime,
+        group: u64,
+        scheme: &'static str,
+        j: f64,
+        delta: f64,
+        candidates: usize,
+        dead_skipped: usize,
+        bytes: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::SCHEDULER,
+            group,
+            "policy_select",
+            "policy",
+            vec![
+                ("scheme", Val::Str(scheme.to_owned())),
+                ("j", Val::F64(j)),
+                ("delta", Val::F64(delta)),
+                ("candidates", Val::U64(candidates as u64)),
+                ("dead_skipped", Val::U64(dead_skipped as u64)),
+                ("bytes", Val::U64(bytes)),
+            ],
+        );
+    }
+
+    /// A `charge()` application (Eq. 17): virtual cost added to the chosen
+    /// policy and the resulting maximum `b` in the table.
+    pub fn policy_charged(&self, t: SimTime, group: u64, chosen: usize, delta: f64, max_b: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::SCHEDULER,
+            group,
+            "policy_charge",
+            "policy",
+            vec![
+                ("chosen", Val::U64(chosen as u64)),
+                ("delta", Val::F64(delta)),
+                ("max_b", Val::F64(max_b)),
+            ],
+        );
+    }
+
+    /// A control-plane `refresh()` poll (Eq. 18 smoothing) over one table.
+    pub fn table_refreshed(&self, t: SimTime, group: u64, max_b: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::SCHEDULER,
+            group,
+            "table_refresh",
+            "policy",
+            vec![("max_b", Val::F64(max_b))],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Faults.
+    // ------------------------------------------------------------------
+
+    /// A fault-plan event fired; `recovered = false` for injection,
+    /// `true` for recovery.
+    pub fn fault(&self, t: SimTime, desc: String, recovered: bool) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::FAULTS,
+            0,
+            if recovered { "recover" } else { "inject" },
+            "fault",
+            vec![("what", Val::Str(desc))],
+        );
+    }
+
+    /// A retried transfer or collective found a path avoiding dead links.
+    pub fn reroute(&self, t: SimTime, tid: u64, delay_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::FAULTS,
+            tid,
+            "reroute",
+            "fault",
+            vec![("delay_s", Val::F64(delay_s))],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Network (hs-simnet).
+    // ------------------------------------------------------------------
+
+    pub fn flow_start(&self, t: SimTime, flow: u64, tag: u64, bytes: u64, hops: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::NETWORK,
+            flow,
+            "flow_start",
+            "net",
+            vec![
+                ("tag", Val::U64(tag)),
+                ("bytes", Val::U64(bytes)),
+                ("hops", Val::U64(hops as u64)),
+            ],
+        );
+    }
+
+    pub fn flow_abort(&self, t: SimTime, flow: u64, reason: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::NETWORK,
+            flow,
+            "flow_abort",
+            "net",
+            vec![("reason", Val::Str(reason.to_owned()))],
+        );
+    }
+
+    /// A link capacity rescale (fault inject/recover); flows crossing the
+    /// link were re-rated, `aborted` of them fatally.
+    pub fn link_scale(&self, t: SimTime, link: u64, factor: f64, rerated: usize, aborted: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::NETWORK,
+            link,
+            "link_scale",
+            "net",
+            vec![
+                ("factor", Val::F64(factor)),
+                ("rerated", Val::U64(rerated as u64)),
+                ("aborted", Val::U64(aborted as u64)),
+            ],
+        );
+    }
+
+    /// Sampled EWMA utilization for one link (Chrome counter track).
+    pub fn link_util(&self, t: SimTime, link: u64, util: f64) {
+        self.counter(t, track::NETWORK, link, "link_util", util);
+    }
+
+    // ------------------------------------------------------------------
+    // INA switch sessions (hs-switch).
+    // ------------------------------------------------------------------
+
+    pub fn ina_session_begin(&self, t: SimTime, switch: u64, job: u64, slots: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Record {
+            t,
+            ph: Ph::Begin,
+            name: "ina_session",
+            cat: "ina",
+            pid: track::SWITCH,
+            tid: switch,
+            args: vec![("job", Val::U64(job)), ("slots", Val::U64(slots as u64))],
+        });
+    }
+
+    pub fn ina_session_end(&self, t: SimTime, switch: u64, job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Record {
+            t,
+            ph: Ph::End,
+            name: "ina_session",
+            cat: "ina",
+            pid: track::SWITCH,
+            tid: switch,
+            args: vec![("job", Val::U64(job))],
+        });
+    }
+
+    /// The dataplane punted a packet to the host fallback path.
+    pub fn ina_fallback(&self, t: SimTime, switch: u64, job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::SWITCH,
+            switch,
+            "ina_fallback",
+            "ina",
+            vec![("job", Val::U64(job))],
+        );
+    }
+
+    /// Free-form warning (clock clamps, degraded modes, ...).
+    pub fn warning(&self, t: SimTime, msg: String) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::FAULTS,
+            0,
+            "warning",
+            "warn",
+            vec![("msg", Val::Str(msg))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let tr = Tracer::noop();
+        tr.request_arrived(SimTime::from_secs(1), 7, 128, 64);
+        tr.policy_selected(SimTime::from_secs(1), 0, "HierIna", 0.5, 0.1, 4, 1, 1 << 20);
+        assert!(!tr.is_enabled());
+        assert!(tr.records().is_empty());
+        assert_eq!(tr.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let tr = Tracer::recording();
+        let other = tr.clone();
+        tr.request_arrived(SimTime::ZERO, 1, 10, 10);
+        other.request_done(SimTime::from_secs(2), 1, 0.5, 2.0);
+        assert_eq!(tr.len(), 2);
+        let recs = tr.records();
+        assert_eq!(recs[0].name, "arrival");
+        assert_eq!(recs[1].name, "done");
+        assert_eq!(recs[1].arg("ttft_s").and_then(Val::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn spans_pair_begin_end_on_same_track() {
+        let tr = Tracer::recording();
+        tr.request_phase_begin(SimTime::from_millis(5), 3, "prefill");
+        tr.request_phase_end(SimTime::from_millis(9), 3, "prefill");
+        let recs = tr.records();
+        assert_eq!(recs[0].ph, Ph::Begin);
+        assert_eq!(recs[1].ph, Ph::End);
+        assert_eq!((recs[0].pid, recs[0].tid), (recs[1].pid, recs[1].tid));
+    }
+
+    #[test]
+    fn take_drains_buffer() {
+        let tr = Tracer::recording();
+        tr.warning(SimTime::ZERO, "x".into());
+        assert_eq!(tr.take().len(), 1);
+        assert!(tr.is_empty());
+    }
+}

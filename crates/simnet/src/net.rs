@@ -71,6 +71,9 @@ pub struct SimNet {
     /// Allocated rate per directed link (sum of flow rates), bits/s.
     link_rate: Vec<f64>,
     rates_dirty: bool,
+    /// Flow/link event sink; no-op unless attached via
+    /// [`SimNet::set_tracer`]. Never affects simulation state.
+    tracer: hs_obs::Tracer,
 }
 
 impl SimNet {
@@ -89,7 +92,13 @@ impl SimNet {
             cum_bytes: vec![0.0; 2 * n],
             link_rate: vec![0.0; 2 * n],
             rates_dirty: false,
+            tracer: hs_obs::Tracer::noop(),
         }
+    }
+
+    /// Attach a tracer for flow start/abort and link-scale events.
+    pub fn set_tracer(&mut self, tracer: &hs_obs::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Current internal clock (last `advance_to` or flow start).
@@ -142,6 +151,7 @@ impl SimNet {
             },
         );
         self.rates_dirty = true;
+        self.tracer.flow_start(now, id.0, tag, bytes, path.len());
         id
     }
 
@@ -152,6 +162,7 @@ impl SimNet {
         let f = self.flows.remove(&id);
         if f.is_some() {
             self.rates_dirty = true;
+            self.tracer.flow_abort(now, id.0, "cancelled");
         }
         f
     }
@@ -297,7 +308,17 @@ impl SimNet {
         self.progress_to(now);
         self.capacities[l.idx()] = self.base_capacities[l.idx()] * factor;
         self.rates_dirty = true;
+        let crossing = || {
+            self.flows
+                .values()
+                .filter(|f| f.path.iter().any(|&(fl, _)| fl == l))
+                .count()
+        };
         if factor > 0.0 {
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .link_scale(now, l.idx() as u64, factor, crossing(), 0);
+            }
             return Vec::new();
         }
         let doomed: Vec<FlowId> = self
@@ -306,6 +327,13 @@ impl SimNet {
             .filter(|(_, f)| f.path.iter().any(|&(fl, _)| fl == l))
             .map(|(&id, _)| id)
             .collect();
+        if self.tracer.is_enabled() {
+            self.tracer
+                .link_scale(now, l.idx() as u64, factor, 0, doomed.len());
+            for id in &doomed {
+                self.tracer.flow_abort(now, id.0, "link_dead");
+            }
+        }
         doomed
             .into_iter()
             .map(|id| (id, self.flows.remove(&id).expect("doomed flow present")))
@@ -613,5 +641,53 @@ mod tests {
             "delivered {}",
             net.cumulative_bytes(links[0])
         );
+    }
+
+    #[test]
+    fn tracer_sees_flow_and_link_events() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        let tracer = hs_obs::Tracer::recording();
+        net.set_tracer(&tracer);
+        net.start_flow(SimTime::ZERO, &fwd(&links), 1_000_000, 7);
+        // Degrade, then kill the first link: one re-rate, one abort.
+        net.set_link_scale(SimTime::from_micros(10), links[0], 0.5);
+        let dead = net.set_link_scale(SimTime::from_micros(20), links[0], 0.0);
+        assert_eq!(dead.len(), 1);
+
+        let recs = tracer.records();
+        let start = recs.iter().find(|r| r.name == "flow_start").unwrap();
+        assert_eq!(start.arg("bytes").and_then(hs_obs::Val::as_f64), Some(1e6));
+        let scales: Vec<_> = recs.iter().filter(|r| r.name == "link_scale").collect();
+        assert_eq!(scales.len(), 2);
+        assert_eq!(
+            scales[0].arg("rerated").and_then(hs_obs::Val::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            scales[1].arg("aborted").and_then(hs_obs::Val::as_f64),
+            Some(1.0)
+        );
+        assert!(recs.iter().any(|r| r.name == "flow_abort"));
+    }
+
+    #[test]
+    fn tracer_never_perturbs_flow_outcomes() {
+        let run = |traced: bool| {
+            let (g, _, links) = line();
+            let mut net = SimNet::new(&g);
+            if traced {
+                net.set_tracer(&hs_obs::Tracer::recording());
+            }
+            net.start_flow(SimTime::ZERO, &fwd(&links), 2_000_000, 1);
+            net.start_flow(SimTime::from_micros(50), &fwd(&links[..1]), 500_000, 2);
+            net.set_link_scale(SimTime::from_micros(80), links[0], 0.5);
+            let done = net.advance_to(SimTime::from_millis(5));
+            (
+                done.iter().map(|(id, f)| (id.0, f.tag)).collect::<Vec<_>>(),
+                net.cumulative_bytes(links[0]),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

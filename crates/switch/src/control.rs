@@ -7,7 +7,10 @@
 //! metrics" (§IV). [`SwitchControl`] is that API surface over one or more
 //! [`InaDataplane`]s (one per INA-capable switch in the fabric).
 
-use crate::dataplane::{AdmitError, DataplaneCounters, InaDataplane, JobConfig, JobId};
+use crate::dataplane::{
+    AdmitError, DataplaneAction, DataplaneCounters, InaDataplane, InaPacket, JobConfig, JobId,
+};
+use hs_des::SimTime;
 use rustc_hash::FxHashMap;
 
 /// Identifier of an INA-capable switch (the topology `NodeId`'s raw index).
@@ -31,6 +34,11 @@ pub struct SwitchControl {
     /// Where each admitted job lives.
     placements: FxHashMap<JobId, SwitchId>,
     next_job: u32,
+    /// Aggregation-session audit stream (no-op unless attached).
+    tracer: hs_obs::Tracer,
+    /// Control-plane clock, advanced by the embedding simulation; the
+    /// switch model itself is untimed.
+    now: SimTime,
 }
 
 impl SwitchControl {
@@ -40,7 +48,19 @@ impl SwitchControl {
             switches: FxHashMap::default(),
             placements: FxHashMap::default(),
             next_job: 0,
+            tracer: hs_obs::Tracer::noop(),
+            now: SimTime::ZERO,
         }
+    }
+
+    /// Attach a tracer for aggregation-session events.
+    pub fn set_tracer(&mut self, tracer: &hs_obs::Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// Advance the control-plane clock (timestamps for traced events).
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// Register an INA-capable switch with a slot pool of `n_slots` slots
@@ -68,8 +88,11 @@ impl SwitchControl {
             .switches
             .get_mut(&sw)
             .unwrap_or_else(|| panic!("unknown switch {sw:?}"));
+        let window = cfg.window;
         dp.admit_job(job, cfg)?;
         self.placements.insert(job, sw);
+        self.tracer
+            .ina_session_begin(self.now, sw.0 as u64, job.0 as u64, window);
         Ok(())
     }
 
@@ -79,7 +102,21 @@ impl SwitchControl {
             if let Some(dp) = self.switches.get_mut(&sw) {
                 dp.release_job(job);
             }
+            self.tracer
+                .ina_session_end(self.now, sw.0 as u64, job.0 as u64);
         }
+    }
+
+    /// Process one packet on `sw`, recording host-fallback punts in the
+    /// trace. `None` when the switch is unknown.
+    pub fn process(&mut self, sw: SwitchId, pkt: &InaPacket) -> Option<DataplaneAction> {
+        let dp = self.switches.get_mut(&sw)?;
+        let action = dp.process(pkt);
+        if action == DataplaneAction::Fallback {
+            self.tracer
+                .ina_fallback(self.now, sw.0 as u64, pkt.job.0 as u64);
+        }
+        Some(action)
     }
 
     /// The switch hosting `job`, if admitted.
@@ -214,6 +251,50 @@ mod tests {
             values: vec![1.0],
         });
         assert!((ctl.fleet_fallback_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracer_records_session_lifecycle_and_fallbacks() {
+        let mut ctl = SwitchControl::new();
+        ctl.register_switch(SwitchId(0), 1, 1);
+        let tr = hs_obs::Tracer::recording();
+        ctl.set_tracer(&tr);
+        ctl.set_clock(hs_des::SimTime::from_secs(1));
+        let j = ctl.new_job_id();
+        ctl.admit(SwitchId(0), j, cfg(2, 4, AggMode::AtpAsync))
+            .unwrap();
+        // First chunk takes the only slot; the second punts to the host.
+        for seq in 0..2 {
+            ctl.process(
+                SwitchId(0),
+                &InaPacket {
+                    job: j,
+                    worker: WorkerId(0),
+                    seq,
+                    values: vec![1.0],
+                },
+            );
+        }
+        ctl.set_clock(hs_des::SimTime::from_secs(2));
+        ctl.release(j);
+        let recs = tr.records();
+        let names: Vec<&str> = recs.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["ina_session", "ina_fallback", "ina_session"]);
+        assert_eq!(recs[0].ph, hs_obs::Ph::Begin);
+        assert_eq!(recs[2].ph, hs_obs::Ph::End);
+        assert!(recs[2].t > recs[0].t, "clock advances between events");
+        // Unknown switch: no crash, no event.
+        assert!(ctl
+            .process(
+                SwitchId(9),
+                &InaPacket {
+                    job: j,
+                    worker: WorkerId(0),
+                    seq: 0,
+                    values: vec![1.0],
+                },
+            )
+            .is_none());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Vendored stand-in for the `serde_json` crate.
 //!
-//! The bench harness only builds flat JSON rows with the [`json!`] macro and
-//! pretty-prints them with [`to_string_pretty`], so that is the whole surface
-//! implemented here. Object key order is preserved (insertion order), which
-//! keeps emitted experiment rows stable across runs.
+//! The bench harness builds flat JSON rows with the [`json!`] macro and
+//! pretty-prints them with [`to_string_pretty`]; the trace tooling round-trips
+//! exported Chrome traces through [`from_str`] to validate them. Object key
+//! order is preserved (insertion order), which keeps emitted experiment rows
+//! stable across runs.
 
 use std::fmt::Write as _;
 
@@ -17,6 +18,53 @@ pub enum Value {
     Array(Vec<Value>),
     /// Insertion-ordered object.
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// JSON number, keeping integers exact.
@@ -259,6 +307,223 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Parse a JSON document into a [`Value`] tree. Strict enough for
+/// round-trip validation of traces this workspace emits: rejects trailing
+/// garbage, unterminated strings/containers, and malformed numbers.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error);
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek().ok_or(Error)? {
+            b'n' => self.eat_literal("null").map(|_| Value::Null),
+            b't' => self.eat_literal("true").map(|_| Value::Bool(true)),
+            b'f' => self.eat_literal("false").map(|_| Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::String),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => Err(Error),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Object(fields)),
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump().ok_or(Error)? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump().ok_or(Error)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = self.parse_hex4()?;
+                        // Surrogate pairs: decode high+low into one scalar.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            self.eat_literal("\\u")?;
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error);
+                            }
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined).ok_or(Error)?
+                        } else {
+                            char::from_u32(code).ok_or(Error)?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error),
+                },
+                b if b < 0x20 => return Err(Error),
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Multi-byte UTF-8: the input is a &str so the bytes are
+                    // valid; find the char at the previous position.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + width;
+                    let slice = self.bytes.get(start..end).ok_or(Error)?;
+                    let s = std::str::from_utf8(slice).map_err(|_| Error)?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump().ok_or(Error)? {
+                b @ b'0'..=b'9' => (b - b'0') as u32,
+                b @ b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b @ b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(Error),
+            };
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        if text.is_empty() || text == "-" {
+            return Err(Error);
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error)
+    }
+}
+
 /// Build a [`Value`] from a JSON-like literal. Supports the flat object /
 /// array / scalar forms the bench harness uses.
 #[macro_export]
@@ -313,6 +578,48 @@ mod tests {
         let v = json!({"x": f64::NAN});
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains("\"x\": null"));
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_json() {
+        let v = json!({
+            "name": "trace",
+            "rows": vec![1u64, 2u64, 3u64],
+            "rate": 3.5,
+            "neg": -7,
+            "ok": true,
+            "none": Option::<u64>::None,
+            "msg": "line\n\"quoted\"\\"
+        });
+        let s = to_string_pretty(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_handles_compact_and_unicode() {
+        let v = from_str(r#"{"a":[{"b":1e3},"é😀"],"c":-2.5}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(-2.5));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].get("b").and_then(Value::as_f64), Some(1000.0));
+        assert_eq!(arr[1].as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} extra",
+            "nul",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]
