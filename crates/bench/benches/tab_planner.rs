@@ -63,14 +63,15 @@ fn main() {
                 let row = match plan(&input, space) {
                     Ok(o) => (
                         format!("{:.3}", o.est_h_rps),
-                        format!("{:.1}", o.stats.elapsed_s * 1e3),
+                        format!("{:.1}", o.stats.elapsed_s.unwrap_or(0.0) * 1e3),
                         format!("{}", o.stats.max_perturb_iters),
                         json!({
                             "topology": name, "space": format!("{space:?}"),
                             "max_candi": max_candi,
                             "h_rps": o.est_h_rps,
-                            "solve_ms": o.stats.elapsed_s * 1e3,
+                            "solve_ms": o.stats.elapsed_s.unwrap_or(0.0) * 1e3,
                             "perturb_iters": o.stats.max_perturb_iters,
+                            "lat_evals": o.stats.lat_evals,
                             "candidates": o.stats.candidates_examined,
                             "sla_feasible": o.stats.sla_feasible,
                         }),

@@ -24,7 +24,7 @@ use hs_workload::{ArrivalProcess, FaultKind, FaultPlan, Mmpp, RequestId, Trace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Tag-space partition for flow demultiplexing.
 const TAG_KIND_SHIFT: u64 = 60;
@@ -525,7 +525,9 @@ impl ClusterSim {
         if aborted.is_empty() {
             return;
         }
-        let mut dead_colls: FxHashMap<u64, Vec<FlowId>> = FxHashMap::default();
+        // Keyed in collective-id order: the loop below pushes retry events,
+        // so visit order feeds straight into the event queue.
+        let mut dead_colls: BTreeMap<u64, Vec<FlowId>> = BTreeMap::new();
         for (id, flow) in &aborted {
             self.aborted_flows += 1;
             match flow.tag >> TAG_KIND_SHIFT {
@@ -991,7 +993,12 @@ impl ClusterSim {
                 self.events.push(self.now + d, Ev::CollTimer { coll });
             }
             Progress::Done => {
-                let state = self.colls.remove(&coll).expect("collective state");
+                // A fault between the completing network event and this
+                // notification may already have torn the collective down
+                // (abort path); finishing twice would double-release.
+                let Some(state) = self.colls.remove(&coll) else {
+                    return;
+                };
                 self.tracer
                     .collective_end(self.now, coll, coll_kind(&state.origin));
                 self.release_ina(state.ina_switch, coll);

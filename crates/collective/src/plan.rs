@@ -278,8 +278,12 @@ impl CollectiveExec {
     /// recompile and retry over surviving links. Returns how many flows
     /// were cancelled here.
     pub fn abort(&mut self, net: &mut SimNet, now: SimTime, already_gone: &[FlowId]) -> usize {
+        // Cancel in ascending flow-id order: the in-flight set is
+        // hash-ordered, and cancellation order reaches the tracer stream.
+        let mut ids: Vec<FlowId> = std::mem::take(&mut self.outstanding).into_iter().collect();
+        ids.sort_unstable();
         let mut cancelled = 0;
-        for id in std::mem::take(&mut self.outstanding) {
+        for id in ids {
             if !already_gone.contains(&id) && net.cancel_flow(now, id).is_some() {
                 cancelled += 1;
             }

@@ -77,6 +77,9 @@ pub struct NetEstimate {
     pub t_n: f64,
     /// Perturbation passes actually used.
     pub perturb_iters: usize,
+    /// Group-latency evaluations performed (the deterministic work
+    /// counter behind the planner's search budget).
+    pub lat_evals: usize,
 }
 
 /// Constrained k-means (k-medoids) over the latency matrix: `n_groups`
@@ -301,8 +304,12 @@ pub fn estimate_network_latency(input: &NetestInput<'_>, rng: &mut SmallRng) -> 
     // Step 1: grouping.
     let mut groups = constrained_kmeans(ap, gpus, n_groups, group_size);
 
-    // Steps 2-3: per-group scheme + latency.
+    // Steps 2-3: per-group scheme + latency. Evaluations are counted so
+    // the search budget is expressed in deterministic work units rather
+    // than wall-clock time.
+    let evals = std::cell::Cell::new(0usize);
     let latency_of = |group: &[NodeId]| -> (Scheme, f64) {
+        evals.set(evals.get() + 1);
         get_latency(
             graph,
             ap,
@@ -388,6 +395,7 @@ pub fn estimate_network_latency(input: &NetestInput<'_>, rng: &mut SmallRng) -> 
         t_pp: t_pp_max,
         t_n,
         perturb_iters: iters,
+        lat_evals: evals.get(),
     }
 }
 

@@ -24,7 +24,8 @@ use hs_des::SimTime;
 use hs_topology::routing::k_shortest_paths_avoiding;
 use hs_topology::{AllPairs, Graph, LinkId, LinkWeight, NodeId};
 use hs_workload::FaultKind;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
+use std::collections::BTreeMap;
 
 /// Tunables of the online scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -251,11 +252,14 @@ pub struct HeroScheduler {
     ap: AllPairs,
     ina_switches: Vec<NodeId>,
     params: SchedulerParams,
-    tables: FxHashMap<u64, PolicyTable>,
+    /// Keyed in group-id order: `on_monitor` walks every table and its
+    /// visit order reaches the trace stream.
+    tables: BTreeMap<u64, PolicyTable>,
     link_util: Vec<f64>,
     /// Cached alternative routes per endpoint pair (Yen's k-shortest),
-    /// for the point-to-point path policies of Fig. 5.
-    route_cache: FxHashMap<(NodeId, NodeId), Vec<Vec<hs_simnet::DirLink>>>,
+    /// for the point-to-point path policies of Fig. 5. Ordered so fault
+    /// invalidation sweeps are deterministic.
+    route_cache: BTreeMap<(NodeId, NodeId), Vec<Vec<hs_simnet::DirLink>>>,
     /// Links currently out of service (fault notifications). Policies and
     /// routes crossing them are treated as infinite-cost.
     dead_links: FxHashSet<LinkId>,
@@ -274,9 +278,9 @@ impl HeroScheduler {
             ap,
             ina_switches,
             params,
-            tables: FxHashMap::default(),
+            tables: BTreeMap::new(),
             link_util,
-            route_cache: FxHashMap::default(),
+            route_cache: BTreeMap::new(),
             dead_links: FxHashSet::default(),
             tracer: hs_obs::Tracer::noop(),
         }
@@ -336,10 +340,11 @@ impl CommStrategy for HeroScheduler {
         if self.table_for(ctx.group_id, ctx.group).is_none() {
             return Scheme::Ring; // degenerate group
         }
-        let table = self
-            .tables
-            .get_mut(&ctx.group_id)
-            .expect("table just built");
+        // Re-lookup (rather than holding table_for's borrow) so the tracer
+        // field stays usable below; degrade gracefully either way.
+        let Some(table) = self.tables.get_mut(&ctx.group_id) else {
+            return Scheme::Ring;
+        };
         table.decay_to(ctx.now, t_u);
         let n_candidates = table.policies.len();
         let Some(sel) = table.select(ctx.bytes, t_u, &self.dead_links) else {

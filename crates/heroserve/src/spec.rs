@@ -38,6 +38,11 @@ pub struct PlannerInput {
     pub max_candi: usize,
     /// Seed for the perturbation RNG.
     pub seed: u64,
+    /// Local-search budget: perturbation passes per candidate (Algorithm
+    /// 2 step 4). A deterministic work-unit budget — the paper's "time
+    /// budget" expressed in evaluation passes so identical inputs always
+    /// explore identical search frontiers regardless of machine speed.
+    pub perturb_budget: usize,
     /// Pin the prefill cluster to one `(P_tens, P_pipe)` (controlled
     /// experiments where all systems must share the paper's deployment;
     /// `None` = free search).
@@ -123,6 +128,7 @@ impl PlannerInput {
             r_frac: 0.9,
             max_candi: 20,
             seed: 0xC0FFEE,
+            perturb_budget: 10,
             force_prefill_parallelism: None,
             force_decode_parallelism: None,
         }

@@ -1,0 +1,6 @@
+//! Known-bad: exact equality on a derived latency value. Either the
+//! comparison is a sentinel in disguise or it breaks under rounding.
+
+pub fn same_latency(estimated_latency_s: f64, measured_latency_s: f64) -> bool {
+    estimated_latency_s == measured_latency_s
+}

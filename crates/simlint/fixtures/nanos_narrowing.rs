@@ -1,0 +1,6 @@
+//! Known-bad: nanosecond counts overflow a u32 in ~4.3 simulated
+//! seconds; narrowing silently truncates long horizons.
+
+pub fn truncate_deadline(deadline_nanos: u64) -> u32 {
+    deadline_nanos as u32
+}

@@ -1,0 +1,8 @@
+//! Known-bad: draws randomness from the OS instead of the run seed, so
+//! two runs with the same `(seed, workload, topology)` diverge.
+
+pub fn jitter() -> u64 {
+    use rand::Rng;
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..1000)
+}

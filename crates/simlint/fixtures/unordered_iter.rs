@@ -1,0 +1,16 @@
+//! Known-bad: iterates a hash-ordered map where the visit order leaks
+//! into event scheduling (retry events are pushed in iteration order).
+
+use rustc_hash::FxHashMap;
+
+pub struct RetryQueue {
+    pending: FxHashMap<u64, u64>,
+}
+
+impl RetryQueue {
+    pub fn schedule_all(&mut self, push: &mut dyn FnMut(u64, u64)) {
+        for (&coll, &at) in self.pending.iter() {
+            push(coll, at);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-bad: panics without documenting the invariant. Library code on
+//! the hot path must fail gracefully or carry an expect() message.
+
+use std::collections::BTreeMap;
+
+pub fn slot_for(table: &BTreeMap<u32, u32>, job: u32) -> u32 {
+    *table.get(&job).unwrap()
+}

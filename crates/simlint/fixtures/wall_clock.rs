@@ -1,0 +1,7 @@
+//! Known-bad: reads the wall clock inside sim-domain logic. A search
+//! budget like this makes plan output depend on machine speed.
+
+pub fn search_budget_exceeded(started_evals: u64) -> bool {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs() > 1 && started_evals > 0
+}

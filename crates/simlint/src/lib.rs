@@ -1,0 +1,978 @@
+//! `hs-simlint`: source-level static analysis for the simulation domain.
+//!
+//! The planner/scheduler comparisons in this workspace are only meaningful
+//! if a given `(seed, workload, topology)` produces a bit-identical
+//! `SimReport`. Stock clippy cannot express the rules that protect that
+//! property, so this crate walks the sim-domain crates (`des`, `simnet`,
+//! `cluster`, `switch`, `collective`, `heroserve`) and enforces them at
+//! the source level:
+//!
+//! | rule              | what it rejects                                              |
+//! |-------------------|--------------------------------------------------------------|
+//! | `wall-clock`      | `Instant::now` / `SystemTime` — real time in the sim domain  |
+//! | `os-rng`          | `thread_rng` / `from_entropy` / `OsRng` / `rand::random`     |
+//! | `unordered-iter`  | iterating a `HashMap`/`FxHashMap`/`HashSet`/`FxHashSet`      |
+//! | `float-eq`        | `==` / `!=` on latency/cost-style floats or float literals   |
+//! | `nanos-narrowing` | `as` casts of nanosecond quantities to narrower types        |
+//! | `unwrap`          | `.unwrap()` / `.expect("")` in non-test library code         |
+//!
+//! A site that is genuinely safe can carry an explicit waiver:
+//!
+//! ```text
+//! // simlint::allow(unordered-iter, keys copied out and sorted before use)
+//! ```
+//!
+//! on the offending line or on the comment line directly above it. The
+//! reason is mandatory — `simlint::allow(rule)` without a reason does not
+//! suppress the finding.
+//!
+//! The analysis is line-oriented and deliberately heuristic: string and
+//! char literals and comments are blanked (length-preserving) before
+//! matching, `#[cfg(test)]` regions are skipped by brace counting, and
+//! hash-container variables are tracked per file from their declaration
+//! sites. That is enough to be exact on this codebase while staying
+//! dependency-free; it is not a general Rust parser.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are subject to simulation-domain rules.
+///
+/// `bench` is excluded on purpose (wall-clock measurement is its job), as
+/// are `obs`, `topology`, `model`, `workload`, and `baselines`, which hold
+/// no event-ordering or clock-domain logic.
+pub const SIM_DOMAIN_CRATES: &[&str] = &[
+    "des",
+    "simnet",
+    "cluster",
+    "switch",
+    "collective",
+    "heroserve",
+];
+
+/// The rule families simlint enforces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) in the sim domain.
+    WallClock,
+    /// OS-seeded or thread-local RNG (`thread_rng`, `from_entropy`, …).
+    OsRng,
+    /// Iteration over hash-ordered containers in order-sensitive code.
+    UnorderedIter,
+    /// Exact float comparison on latency/cost-style quantities.
+    FloatEq,
+    /// `as` narrowing casts applied to nanosecond quantities.
+    NanosNarrowing,
+    /// `.unwrap()` / message-less `.expect` in non-test library code.
+    Unwrap,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::WallClock,
+        Rule::OsRng,
+        Rule::UnorderedIter,
+        Rule::FloatEq,
+        Rule::NanosNarrowing,
+        Rule::Unwrap,
+    ];
+
+    /// The kebab-case name used in reports and `simlint::allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::OsRng => "os-rng",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::FloatEq => "float-eq",
+            Rule::NanosNarrowing => "nanos-narrowing",
+            Rule::Unwrap => "unwrap",
+        }
+    }
+
+    /// Parse a rule name as written in an allow annotation.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line rationale, shown by `simlint --list-rules`.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "real time must never reach sim logic; budgets and timestamps \
+                 come from SimTime or deterministic counters"
+            }
+            Rule::OsRng => "all randomness must flow from the run seed via SeedSplitter",
+            Rule::UnorderedIter => {
+                "hash-map iteration order leaks into event scheduling and plan \
+                 output; use BTreeMap or sort before iterating"
+            }
+            Rule::FloatEq => {
+                "exact equality on derived latency/cost floats is either a \
+                 sentinel in disguise or a rounding bug"
+            }
+            Rule::NanosNarrowing => "nanosecond counts overflow 32-bit types within seconds",
+            Rule::Unwrap => {
+                "hot-path library code must fail gracefully or document the \
+                 invariant in an expect() message"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Path as reported (workspace-relative when walking a workspace).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `simlint::allow(rule, reason)` annotation.
+#[derive(Clone, Debug)]
+struct Allow {
+    rule: Rule,
+    has_reason: bool,
+}
+
+/// Per-line view of a source file after preprocessing.
+struct SourceLine {
+    /// Code with string/char-literal interiors and comments blanked,
+    /// length-preserving so byte offsets line up with `raw`.
+    code: String,
+    /// The original text (used to read expect() messages).
+    raw: String,
+    /// Inside a `#[cfg(test)]` region.
+    in_test: bool,
+    /// Allow annotations written on this line.
+    allows: Vec<Allow>,
+    /// True when the line is comment/whitespace only (its annotations then
+    /// apply to the next code line).
+    comment_only: bool,
+}
+
+/// Length-preserving blanking of comments and literal interiors.
+///
+/// Keeps quote characters so `.expect("` remains matchable, blanks
+/// everything between them. `in_block` carries nested block-comment depth
+/// across lines.
+fn sanitize(line: &str, in_block: &mut u32) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut i = 0usize;
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Str { raw_hashes: Option<u32> },
+    }
+    let mut mode = Mode::Code;
+    while i < chars.len() {
+        let c = chars[i];
+        if *in_block > 0 {
+            if c == '*' && chars.get(i + 1) == Some(&'/') {
+                *in_block -= 1;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+            } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                *in_block += 1;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+            } else {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: blank the rest of the line.
+                    while i < chars.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *in_block += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    mode = Mode::Str { raw_hashes: None };
+                    i += 1;
+                } else if c == 'r'
+                    && (chars.get(i + 1) == Some(&'"') || chars.get(i + 1) == Some(&'#'))
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                {
+                    // Raw string: r"..." or r#"..."#.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        out.extend(std::iter::repeat_n(' ', j - i));
+                        out.push('"');
+                        mode = Mode::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs. lifetime: a literal closes with '.
+                    let close = if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char: find the next unescaped quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        (j < chars.len()).then_some(j)
+                    } else if i + 2 < chars.len() && chars[i + 2] == '\'' {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    match close {
+                        Some(j) => {
+                            out.push('\'');
+                            out.extend(std::iter::repeat_n(' ', j - i - 1));
+                            out.push('\'');
+                            i = j + 1;
+                        }
+                        None => {
+                            // Lifetime: keep verbatim.
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            out.push(' ');
+                            out.push(' ');
+                            i += 2;
+                        } else if c == '"' {
+                            out.push('"');
+                            mode = Mode::Code;
+                            i += 1;
+                        } else {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Some(h) => {
+                        // Close on "### with exactly h hashes.
+                        if c == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0u32;
+                            while seen < h && chars.get(j) == Some(&'#') {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == h {
+                                out.push('"');
+                                out.extend(std::iter::repeat_n(' ', j - i - 1));
+                                mode = Mode::Code;
+                                i = j;
+                                continue;
+                            }
+                        }
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Parse every `simlint::allow(rule, reason)` on a raw line.
+fn parse_allows(raw: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("simlint::allow(") {
+        rest = &rest[pos + "simlint::allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let inner = &rest[..close];
+        rest = &rest[close + 1..];
+        let (rule_name, reason) = match inner.find(',') {
+            Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+            None => (inner.trim(), ""),
+        };
+        if let Some(rule) = Rule::from_name(rule_name) {
+            allows.push(Allow {
+                rule,
+                has_reason: !reason.is_empty(),
+            });
+        }
+    }
+    allows
+}
+
+/// Preprocess a file into sanitized lines with test-region and annotation
+/// metadata.
+fn preprocess(source: &str) -> Vec<SourceLine> {
+    let mut lines = Vec::new();
+    let mut in_block = 0u32;
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+    let mut test_opened = false;
+    let mut pending_cfg_test = false;
+    for raw in source.lines() {
+        let raw_in_block = in_block > 0;
+        let code = sanitize(raw, &mut in_block);
+        let trimmed = code.trim();
+        let comment_only = trimmed.is_empty();
+        let line_is_test = if in_test {
+            true
+        } else {
+            if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
+                pending_cfg_test = true;
+                // `#[cfg(test)] mod t { … }` on one line: enter immediately.
+                let after_attr = trimmed.rsplit(']').next().unwrap_or("");
+                if !after_attr.trim().is_empty() {
+                    in_test = true;
+                    pending_cfg_test = false;
+                }
+                in_test
+            } else if pending_cfg_test && !comment_only {
+                if trimmed.starts_with("#[") {
+                    // Further attributes between cfg(test) and the item.
+                    false
+                } else {
+                    in_test = true;
+                    pending_cfg_test = false;
+                    true
+                }
+            } else {
+                false
+            }
+        };
+        if in_test {
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        test_depth += 1;
+                        test_opened = true;
+                    }
+                    '}' => test_depth -= 1,
+                    _ => {}
+                }
+            }
+            if test_opened && test_depth <= 0 {
+                in_test = false;
+                test_opened = false;
+                test_depth = 0;
+            }
+        }
+        lines.push(SourceLine {
+            code,
+            raw: raw.to_string(),
+            in_test: line_is_test || raw_in_block,
+            allows: parse_allows(raw),
+            comment_only,
+        });
+    }
+    lines
+}
+
+/// Hash-container variable/field names declared in a file's non-test code.
+fn hash_container_names(lines: &[SourceLine]) -> Vec<String> {
+    const TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+    let mut names: Vec<String> = Vec::new();
+    for sl in lines {
+        if sl.in_test {
+            continue;
+        }
+        let code = &sl.code;
+        for ty in TYPES {
+            let mut from = 0usize;
+            while let Some(rel) = code[from..].find(ty) {
+                let at = from + rel;
+                from = at + ty.len();
+                // Word boundary on both sides of the type name.
+                let before_ok = code[..at]
+                    .chars()
+                    .next_back()
+                    .map(|c| !is_ident_char(c))
+                    .unwrap_or(true);
+                let after_ok = code[at + ty.len()..]
+                    .chars()
+                    .next()
+                    .map(|c| !is_ident_char(c))
+                    .unwrap_or(true);
+                if !before_ok || !after_ok {
+                    continue;
+                }
+                // Declaration forms: `name: FxHashMap<…>` (field, param,
+                // typed let) or `let [mut] name = FxHashMap::default()`.
+                let head = code[..at].trim_end();
+                let name = if let Some(h) = head.strip_suffix(':') {
+                    last_ident(h)
+                } else if let Some(h) = head.strip_suffix('=') {
+                    last_ident(h.trim_end())
+                } else {
+                    None
+                };
+                if let Some(n) = name {
+                    if !names.contains(&n) {
+                        names.push(n);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The trailing identifier of a code fragment, if any.
+fn last_ident(s: &str) -> Option<String> {
+    let end = s.trim_end();
+    let tail: String = end
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if tail.is_empty() || tail.chars().next().unwrap().is_ascii_digit() {
+        None
+    } else {
+        Some(tail)
+    }
+}
+
+/// Find word-boundary occurrences of `name` in `code`.
+fn occurrences(code: &str, name: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(name) {
+        let at = from + rel;
+        from = at + name.len();
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .map(|c| !is_ident_char(c))
+            .unwrap_or(true);
+        let after_ok = code[at + name.len()..]
+            .chars()
+            .next()
+            .map(|c| !is_ident_char(c))
+            .unwrap_or(true);
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+    }
+    hits
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Identifier suffixes that mark latency/cost-style float quantities.
+const FLOAT_SUFFIXES: &[&str] = &[
+    "_s", "_secs", "_ms", "_us", "_bps", "_gbps", "_rps", "_util", "_frac", "latency", "cost",
+];
+
+/// Lint a single preprocessed file.
+fn lint_lines(file: &str, lines: &[SourceLine]) -> Vec<Finding> {
+    let containers = hash_container_names(lines);
+    let mut findings = Vec::new();
+    let mut prev_code_idx: Option<usize> = None;
+    for (idx, sl) in lines.iter().enumerate() {
+        if sl.in_test || sl.comment_only {
+            continue;
+        }
+        let code = sl.code.as_str();
+        let mut raw_findings: Vec<(Rule, String)> = Vec::new();
+
+        // wall-clock ------------------------------------------------------
+        if code.contains("Instant::now") {
+            raw_findings.push((
+                Rule::WallClock,
+                "wall-clock read `Instant::now` in sim-domain code".into(),
+            ));
+        }
+        if code.contains("SystemTime") {
+            raw_findings.push((
+                Rule::WallClock,
+                "wall-clock type `SystemTime` in sim-domain code".into(),
+            ));
+        }
+
+        // os-rng ----------------------------------------------------------
+        for pat in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
+            if code.contains(pat) {
+                raw_findings.push((
+                    Rule::OsRng,
+                    format!("unseeded RNG source `{pat}` (randomness must come from the run seed)"),
+                ));
+            }
+        }
+
+        // unordered-iter --------------------------------------------------
+        let loop_header_end = if code.contains("for ") && code.contains(" in ") {
+            code.find('{').unwrap_or(code.len())
+        } else {
+            0
+        };
+        for name in &containers {
+            let mut flagged = false;
+            for at in occurrences(code, name) {
+                let after = &code[at + name.len()..];
+                if ITER_METHODS.iter().any(|m| after.starts_with(m)) {
+                    flagged = true;
+                }
+                // Direct loop subject: `for … in [&[mut]] path.name {`.
+                if !flagged && at < loop_header_end {
+                    if let Some(in_pos) = code.find(" in ") {
+                        if at > in_pos {
+                            flagged = true;
+                        }
+                    }
+                }
+                if flagged {
+                    raw_findings.push((
+                        Rule::UnorderedIter,
+                        format!(
+                            "iteration over hash-ordered container `{name}` \
+                             (use BTreeMap or sort first)"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        // Multi-line method chains: a line that *starts* with an iteration
+        // method continues a chain whose receiver — the trailing
+        // identifier of the previous code line — may be a hash container.
+        let chain_head = code.trim_start();
+        if chain_head.starts_with('.') && ITER_METHODS.iter().any(|m| chain_head.starts_with(m)) {
+            if let Some(prev) = prev_code_idx {
+                if let Some(recv) = last_ident(&lines[prev].code) {
+                    if containers.contains(&recv) {
+                        raw_findings.push((
+                            Rule::UnorderedIter,
+                            format!(
+                                "iteration over hash-ordered container `{recv}` \
+                                 (chained; use BTreeMap or sort first)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // float-eq --------------------------------------------------------
+        for (op_at, op) in find_eq_ops(code) {
+            let lhs = operand_before(code, op_at);
+            let rhs = operand_after(code, op_at + op.len());
+            let suspicious = |tok: &Option<String>| {
+                tok.as_deref().is_some_and(|t| {
+                    is_float_literal(t)
+                        || FLOAT_SUFFIXES
+                            .iter()
+                            .any(|s| t.rsplit('.').next().unwrap_or(t).ends_with(s))
+                })
+            };
+            if suspicious(&lhs) || suspicious(&rhs) {
+                raw_findings.push((
+                    Rule::FloatEq,
+                    format!(
+                        "exact float comparison `{} {} {}` on a latency/cost-style quantity",
+                        lhs.as_deref().unwrap_or("…"),
+                        op,
+                        rhs.as_deref().unwrap_or("…"),
+                    ),
+                ));
+            }
+        }
+
+        // nanos-narrowing -------------------------------------------------
+        if code.contains("nanos") || code.contains("Nanos") {
+            for ty in NARROW_TYPES {
+                let pat = format!(" as {ty}");
+                let mut from = 0usize;
+                while let Some(rel) = code[from..].find(&pat) {
+                    let at = from + rel;
+                    from = at + pat.len();
+                    let after_ok = code[at + pat.len()..]
+                        .chars()
+                        .next()
+                        .map(|c| !is_ident_char(c))
+                        .unwrap_or(true);
+                    if after_ok {
+                        raw_findings.push((
+                            Rule::NanosNarrowing,
+                            format!("narrowing cast `as {ty}` on a nanosecond quantity"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // unwrap ----------------------------------------------------------
+        {
+            let mut from = 0usize;
+            while let Some(rel) = code[from..].find(".unwrap()") {
+                from += rel + ".unwrap()".len();
+                raw_findings.push((
+                    Rule::Unwrap,
+                    "`.unwrap()` in library code (return a Result or use \
+                     expect(\"…invariant…\"))"
+                        .into(),
+                ));
+            }
+            let mut from = 0usize;
+            while let Some(rel) = code[from..].find(".expect(") {
+                let at = from + rel;
+                from = at + ".expect(".len();
+                // Inspect the original text: a non-empty string literal (or
+                // any non-literal expression) documents the invariant.
+                let arg = sl.raw.get(at + ".expect(".len()..).unwrap_or("");
+                let arg = arg.trim_start();
+                if arg.starts_with("\"\"") || arg.is_empty() || arg.starts_with(')') {
+                    raw_findings.push((
+                        Rule::Unwrap,
+                        "`.expect(\"\")` without an invariant message".into(),
+                    ));
+                }
+            }
+        }
+
+        // Apply allow annotations: same line, or a comment-only line above.
+        let mut active_allows: Vec<&Allow> = sl.allows.iter().collect();
+        if idx > 0 && lines[idx - 1].comment_only {
+            active_allows.extend(lines[idx - 1].allows.iter());
+        }
+        for (rule, message) in raw_findings {
+            let waived = active_allows.iter().any(|a| a.rule == rule && a.has_reason);
+            if !waived {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule,
+                    message,
+                });
+            }
+        }
+        prev_code_idx = Some(idx);
+    }
+    findings
+}
+
+/// Positions of `==` / `!=` operators (excluding `<=`, `>=`, `=>`, `===`).
+fn find_eq_ops(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut ops = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        if two == b"==" {
+            let prev = i.checked_sub(1).map(|p| bytes[p] as char);
+            let next = bytes.get(i + 2).map(|&b| b as char);
+            let prev_bad = matches!(prev, Some('<') | Some('>') | Some('=') | Some('!'));
+            let next_bad = matches!(next, Some('='));
+            if !prev_bad && !next_bad {
+                ops.push((i, "=="));
+            }
+            i += 2;
+        } else if two == b"!=" {
+            if bytes.get(i + 2) != Some(&b'=') {
+                ops.push((i, "!="));
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    ops
+}
+
+/// The path-like token ending immediately before byte `at` (skipping space).
+fn operand_before(code: &str, at: usize) -> Option<String> {
+    let head = code[..at].trim_end();
+    let tok: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c) || c == '.')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let tok = tok.trim_matches('.').to_string();
+    (!tok.is_empty()).then_some(tok)
+}
+
+/// The path-like token starting immediately after byte `at`.
+fn operand_after(code: &str, at: usize) -> Option<String> {
+    let tail = code.get(at..)?.trim_start();
+    let tok: String = tail
+        .chars()
+        .take_while(|&c| is_ident_char(c) || c == '.')
+        .collect();
+    let tok = tok.trim_matches('.').to_string();
+    (!tok.is_empty()).then_some(tok)
+}
+
+/// `0.0`, `1.5e3`, `12.` — but not `0` or an identifier.
+fn is_float_literal(tok: &str) -> bool {
+    let mut chars = tok.chars();
+    chars.next().is_some_and(|c| c.is_ascii_digit()) && tok.contains('.')
+}
+
+/// Lint one source file. `file` is the label used in findings.
+pub fn lint_file(file: &str, source: &str) -> Vec<Finding> {
+    lint_lines(file, &preprocess(source))
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the `src/` tree of every sim-domain crate under `root`.
+///
+/// `tests/`, `benches/`, `examples/`, `vendor/`, and non-sim-domain crates
+/// are out of scope by construction: only `crates/<sim-domain>/src` is
+/// walked.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in SIM_DOMAIN_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("sim-domain crate source missing: {}", src.display()),
+            ));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for path in files {
+            let source = fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            findings.extend(lint_file(&label, &source));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    }
+
+    /// Each known-bad fixture fires its rule exactly once and nothing else.
+    #[test]
+    fn fixtures_fire_exactly_once() {
+        let cases = [
+            ("wall_clock.rs", Rule::WallClock),
+            ("os_rng.rs", Rule::OsRng),
+            ("unordered_iter.rs", Rule::UnorderedIter),
+            ("float_eq.rs", Rule::FloatEq),
+            ("nanos_narrowing.rs", Rule::NanosNarrowing),
+            ("unwrap.rs", Rule::Unwrap),
+        ];
+        for (name, rule) in cases {
+            let findings = lint_file(name, &fixture(name));
+            assert_eq!(
+                findings.len(),
+                1,
+                "{name}: expected exactly one finding, got {findings:?}"
+            );
+            assert_eq!(findings[0].rule, rule, "{name}: wrong rule: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n    // simlint::allow(wall-clock, reporting only)\n    let t = std::time::Instant::now();\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+        let same_line =
+            "fn f() { let t = std::time::Instant::now(); } // simlint::allow(wall-clock, reporting only)\n";
+        assert!(lint_file("t.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "fn f() {\n    // simlint::allow(wall-clock)\n    let t = std::time::Instant::now();\n}\n";
+        let findings = lint_file("t.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "fn f() {\n    // simlint::allow(os-rng, not the right rule)\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(lint_file("t.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = std::time::Instant::now();\n        let v: Option<u32> = None;\n        assert!(v.unwrap() > 0);\n    }\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\npub fn late() { let t = std::time::Instant::now(); }\n";
+        let findings = lint_file("t.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::WallClock);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "fn f() -> &'static str {\n    // Instant::now() would be bad; so would x.unwrap().\n    \"Instant::now thread_rng .unwrap()\"\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_with_message_is_accepted() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.expect(\"queue invariant: peeked entry exists\")\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+        let empty = "fn f(v: Option<u32>) -> u32 {\n    v.expect(\"\")\n}\n";
+        let findings = lint_file("t.rs", empty);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> u32 {\n    m.values().sum()\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_is_fine() {
+        let src = "use rustc_hash::FxHashMap;\nstruct S { m: FxHashMap<u32, u32> }\nimpl S {\n    fn get(&self, k: u32) -> Option<u32> { self.m.get(&k).copied() }\n    fn put(&mut self, k: u32, v: u32) { self.m.insert(k, v); }\n}\n";
+        assert!(lint_file("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_is_flagged() {
+        let src = "use rustc_hash::FxHashMap;\nfn f(m: FxHashMap<u32, u32>) {\n    for (k, v) in &m {\n        drop((k, v));\n    }\n}\n";
+        let findings = lint_file("t.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::UnorderedIter);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn multiline_chain_over_hash_map_is_flagged() {
+        let src = "use rustc_hash::FxHashMap;\nstruct S { switches: FxHashMap<u32, u32> }\nimpl S {\n    fn poll(&self) -> Vec<u32> {\n        self.switches\n            .values()\n            .copied()\n            .collect()\n    }\n}\n";
+        let findings = lint_file("t.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::UnorderedIter);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn float_eq_against_literal_is_flagged() {
+        let src = "fn f(rate_bps: f64) -> bool { rate_bps == 0.0 }\n";
+        let findings = lint_file("t.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::FloatEq);
+    }
+
+    #[test]
+    fn integer_eq_is_fine() {
+        let src = "fn f(count: u64, phase: u8) -> bool { count == 3 && phase != 1 }\n";
+        assert!(lint_file("t.rs", src).is_empty());
+    }
+
+    /// The workspace itself must lint clean — this is the same gate CI
+    /// runs via `cargo run -p simlint`.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("simlint lives at <root>/crates/simlint");
+        let findings = lint_workspace(root).expect("workspace walk succeeds");
+        assert!(
+            findings.is_empty(),
+            "workspace has simlint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! `simlint` CLI — the CI gate.
+//!
+//! Modes:
+//!
+//! * `simlint` — lint the sim-domain crates of the enclosing workspace
+//!   (found by walking up from the current directory to the first
+//!   `Cargo.toml` containing `[workspace]`). Exit 0 when clean, 1 when any
+//!   finding is reported.
+//! * `simlint --file <path>…` — lint specific files as sim-domain code
+//!   (used to demonstrate that each known-bad fixture fails).
+//! * `simlint --check-fixtures` — lint every file in this crate's
+//!   `fixtures/` directory and verify each fires its named rule exactly
+//!   once; exit 0 only if all behave.
+//! * `simlint --list-rules` — print the rule table.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::{lint_file, lint_workspace, Rule, SIM_DOMAIN_CRATES};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn lint_paths(paths: &[String]) -> ExitCode {
+    let mut total = 0usize;
+    for p in paths {
+        match fs::read_to_string(p) {
+            Ok(source) => {
+                for f in lint_file(p, &source) {
+                    println!("{f}");
+                    total += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("simlint: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total == 0 {
+        println!("simlint: clean ({} file(s))", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("simlint: {total} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn check_fixtures() -> ExitCode {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut entries: Vec<PathBuf> = match fs::read_dir(&dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => {
+            eprintln!("simlint: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    entries.sort();
+    let mut bad = 0usize;
+    for path in entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+    {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        let expect = Rule::from_name(&stem.replace('_', "-"));
+        let Some(expect) = expect else {
+            eprintln!("simlint: fixture {stem}.rs does not name a rule");
+            bad += 1;
+            continue;
+        };
+        let source = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", path.display());
+                bad += 1;
+                continue;
+            }
+        };
+        let findings = lint_file(&path.display().to_string(), &source);
+        if findings.len() == 1 && findings[0].rule == expect {
+            println!("fixture {stem}.rs: fires [{expect}] exactly once, as expected");
+        } else {
+            eprintln!(
+                "fixture {stem}.rs: expected exactly one [{expect}] finding, got: {findings:?}"
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!("simlint: all fixtures behave");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn list_rules() {
+    println!(
+        "simlint rules (sim-domain crates: {}):",
+        SIM_DOMAIN_CRATES.join(", ")
+    );
+    for r in Rule::ALL {
+        println!("  {:<16} {}", r.name(), r.rationale());
+    }
+    println!("waiver syntax: // simlint::allow(<rule>, <reason>)   (reason mandatory)");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list-rules") => {
+            list_rules();
+            ExitCode::SUCCESS
+        }
+        Some("--check-fixtures") => check_fixtures(),
+        Some("--file") => {
+            if args.len() < 2 {
+                eprintln!("simlint: --file requires at least one path");
+                ExitCode::from(2)
+            } else {
+                lint_paths(&args[1..])
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "simlint: unknown argument `{other}` \
+                 (try --file, --check-fixtures, --list-rules)"
+            );
+            ExitCode::from(2)
+        }
+        None => {
+            let Some(root) = find_workspace_root() else {
+                eprintln!("simlint: no workspace root found above the current directory");
+                return ExitCode::from(2);
+            };
+            match lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("simlint: clean (crates: {})", SIM_DOMAIN_CRATES.join(", "));
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    println!("simlint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("simlint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+    }
+}

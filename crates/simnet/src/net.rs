@@ -346,6 +346,7 @@ impl SimNet {
             // the last bit's propagation.
             return f.earliest_finish.max(self.clock);
         }
+        // simlint::allow(float-eq, 0.0 is an exact assigned sentinel for starved flows, never computed)
         if f.rate_bps == 0.0 {
             return SimTime::MAX;
         }

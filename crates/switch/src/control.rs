@@ -12,6 +12,7 @@ use crate::dataplane::{
 };
 use hs_des::SimTime;
 use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of an INA-capable switch (the topology `NodeId`'s raw index).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -30,8 +31,10 @@ pub struct SwitchCounters {
 
 /// Control plane over a fleet of INA dataplanes.
 pub struct SwitchControl {
-    switches: FxHashMap<SwitchId, InaDataplane>,
-    /// Where each admitted job lives.
+    /// Keyed in switch-id order: fleet-wide walks (polling, fallback
+    /// accounting) must visit switches deterministically.
+    switches: BTreeMap<SwitchId, InaDataplane>,
+    /// Where each admitted job lives (lookups only, never iterated).
     placements: FxHashMap<JobId, SwitchId>,
     next_job: u32,
     /// Aggregation-session audit stream (no-op unless attached).
@@ -45,7 +48,7 @@ impl SwitchControl {
     /// Empty fleet.
     pub fn new() -> Self {
         SwitchControl {
-            switches: FxHashMap::default(),
+            switches: BTreeMap::new(),
             placements: FxHashMap::default(),
             next_job: 0,
             tracer: hs_obs::Tracer::noop(),
@@ -82,12 +85,12 @@ impl SwitchControl {
     }
 
     /// Admit `job` on switch `sw`. Errors surface admission failures
-    /// (pool exhaustion for synchronous jobs).
+    /// (pool exhaustion for synchronous jobs, or an unregistered switch).
     pub fn admit(&mut self, sw: SwitchId, job: JobId, cfg: JobConfig) -> Result<(), AdmitError> {
         let dp = self
             .switches
             .get_mut(&sw)
-            .unwrap_or_else(|| panic!("unknown switch {sw:?}"));
+            .ok_or(AdmitError::UnknownSwitch)?;
         let window = cfg.window;
         dp.admit_job(job, cfg)?;
         self.placements.insert(job, sw);
@@ -143,10 +146,10 @@ impl SwitchControl {
         })
     }
 
-    /// Poll every switch, sorted by id (deterministic report order).
+    /// Poll every switch, sorted by id (deterministic report order — the
+    /// fleet map is keyed in id order).
     pub fn poll_all(&self) -> Vec<(SwitchId, SwitchCounters)> {
-        let mut v: Vec<_> = self
-            .switches
+        self.switches
             .iter()
             .map(|(&id, dp)| {
                 (
@@ -158,9 +161,7 @@ impl SwitchControl {
                     },
                 )
             })
-            .collect();
-        v.sort_by_key(|(id, _)| *id);
-        v
+            .collect()
     }
 
     /// Fraction of packets that bypassed in-network aggregation fleet-wide
@@ -298,10 +299,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown switch")]
-    fn admit_on_unknown_switch_panics() {
+    fn admit_on_unknown_switch_errors() {
         let mut ctl = SwitchControl::new();
         let j = ctl.new_job_id();
-        let _ = ctl.admit(SwitchId(9), j, cfg(2, 1, AggMode::AtpAsync));
+        assert_eq!(
+            ctl.admit(SwitchId(9), j, cfg(2, 1, AggMode::AtpAsync)),
+            Err(AdmitError::UnknownSwitch)
+        );
+        assert_eq!(ctl.placement(j), None, "failed admit leaves no placement");
     }
 }

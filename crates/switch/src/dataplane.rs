@@ -301,6 +301,8 @@ pub enum AdmitError {
     BadFanin,
     /// Not enough free aggregator slots for the requested window.
     PoolExhausted,
+    /// The target switch is not registered with the control plane.
+    UnknownSwitch,
 }
 
 #[cfg(test)]

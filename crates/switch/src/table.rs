@@ -7,10 +7,13 @@
 //! port group, and the window index is the aggregator ID carried in the
 //! packet header.
 
-use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// A table key: which job, which in-flight aggregation window.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Ordered (`(job, window)` lexicographic) so table scans such as
+/// [`AggregationTable::remove_job`] visit entries deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TableKey {
     /// The INA job (collective group) id.
     pub job: u32,
@@ -23,7 +26,7 @@ pub struct TableKey {
 /// aggregation table entries via vendor-provided runtime libraries").
 #[derive(Default, Debug)]
 pub struct AggregationTable {
-    entries: FxHashMap<TableKey, u32>,
+    entries: BTreeMap<TableKey, u32>,
     inserts: u64,
     removes: u64,
 }

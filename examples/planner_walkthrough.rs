@@ -94,10 +94,11 @@ fn main() {
         out.prefill.p_tens, out.prefill.p_pipe, out.decode.p_tens, out.decode.p_pipe, out.est_h_rps
     );
     println!(
-        "  examined {} candidates ({} SLA-feasible), perturbation <= {} iters, solved in {:.0} ms",
+        "  examined {} candidates ({} SLA-feasible), perturbation <= {} iters, {} latency evals, solved in {:.0} ms",
         out.stats.candidates_examined,
         out.stats.sla_feasible,
         out.stats.max_perturb_iters,
-        out.stats.elapsed_s * 1e3
+        out.stats.lat_evals,
+        out.stats.elapsed_s.unwrap_or(0.0) * 1e3
     );
 }
