@@ -1,0 +1,63 @@
+//! Simulator-throughput snapshot: events/sec of the incremental
+//! fair-share engine vs a forced full re-solve per event, at 100 / 1k /
+//! 10k concurrent flows (ISSUE 5 perf trajectory; see DESIGN.md §9).
+//!
+//! Workload: isolated 2-link clusters with four staggered flows each,
+//! driven through the full `start → next_event_time → advance_to`
+//! lifecycle. An *event* is a flow start or completion. Incremental runs
+//! go to completion; full-resolve runs are capped at an event budget —
+//! at 10k flows the full re-solve per completion is exactly the
+//! quadratic behaviour this engine removes, and an uncapped run would
+//! take minutes for a number that is stable after a few hundred events.
+//!
+//! Writes `results/bench_simnet.json`.
+
+use hs_bench::simbench::{clusters_topo, pull_loop_throughput};
+use hs_bench::ExpTable;
+use serde_json::json;
+
+fn main() {
+    let mut table = ExpTable::new(
+        "bench_simnet",
+        &[
+            "flows",
+            "mode",
+            "events",
+            "wall_ms",
+            "events/sec",
+            "complete",
+        ],
+    );
+    for &n_flows in &[100usize, 1_000, 10_000] {
+        let (g, paths) = clusters_topo(n_flows / 4);
+        for (mode, full) in [("incremental", false), ("full_solve", true)] {
+            // Cap only matters for full-solve at scale; 2×flows + slack
+            // lets every incremental run finish all lifecycles.
+            let cap = if full {
+                (n_flows as u64) + 1_500
+            } else {
+                u64::MAX
+            };
+            let run = pull_loop_throughput(&g, &paths, 4, 1_000_000, full, cap);
+            table.push(
+                vec![
+                    n_flows.to_string(),
+                    mode.to_string(),
+                    run.events.to_string(),
+                    format!("{:.2}", run.wall_s * 1e3),
+                    format!("{:.0}", run.events_per_sec),
+                    run.ran_to_completion.to_string(),
+                ],
+                json!({
+                    "flows": n_flows,
+                    "mode": mode,
+                    "events": run.events,
+                    "wall_s": run.wall_s,
+                    "events_per_sec": run.events_per_sec,
+                    "ran_to_completion": run.ran_to_completion,
+                }),
+            );
+        }
+    }
+    table.finish();
+}

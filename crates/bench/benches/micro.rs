@@ -2,8 +2,10 @@
 //! rate computation, switch aggregation, policy-table updates, grouping.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hs_bench::simbench::{clusters_topo, fill};
 use hs_model::fit::least_squares;
 use hs_simnet::fairshare::{compute_rates, FlowDemand};
+use hs_simnet::{FlowSpan, SimNet, SolverWorkspace};
 use hs_switch::{AggMode, FixPoint, InaDataplane, InaPacket, JobConfig, JobId, WorkerId};
 use hs_topology::builders::{testbed, xtracks, XTracksConfig};
 use hs_topology::routing::{k_shortest_paths, shortest_path};
@@ -39,18 +41,94 @@ fn bench_fairshare(c: &mut Criterion) {
     let paths: Vec<Vec<usize>> = (0..100)
         .map(|i| vec![i % 200, (i * 7 + 3) % 200, (i * 13 + 11) % 200])
         .collect();
+    // Demand construction runs in the setup closure, not the timed one,
+    // so this measures water-filling itself rather than Vec churn.
     c.bench_function("fairshare_100flows_200links", |b| {
-        b.iter(|| {
-            let demands: Vec<FlowDemand<'_>> = paths
-                .iter()
-                .map(|p| FlowDemand {
-                    links: p,
-                    weight: 1.0,
-                })
-                .collect();
-            compute_rates(&caps, &demands)
-        })
+        b.iter_batched(
+            || {
+                paths
+                    .iter()
+                    .map(|p| FlowDemand {
+                        links: p,
+                        weight: 1.0,
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |demands| compute_rates(&caps, &demands),
+            BatchSize::SmallInput,
+        )
     });
+    // Same instance through the persistent workspace: zero steady-state
+    // allocation, flat span arena instead of per-flow Vecs.
+    let mut flat = Vec::new();
+    let mut spans = Vec::new();
+    for p in &paths {
+        spans.push(FlowSpan {
+            start: flat.len() as u32,
+            len: p.len() as u32,
+            weight: 1.0,
+        });
+        flat.extend(p.iter().copied());
+    }
+    c.bench_function("fairshare_workspace_100flows_200links", |b| {
+        let mut ws = SolverWorkspace::new();
+        b.iter(|| ws.solve(&caps, &flat, &spans)[0])
+    });
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    // Steady-state churn at 1k live flows: per iteration, start one flow,
+    // query the next event, cancel it, query again — the per-collective
+    // pattern the cluster engine drives. Background flows are large
+    // enough never to complete inside the bench. The incremental engine
+    // re-solves one 5-flow component; the full-solve variant re-rates all
+    // 1001 flows every time (ISSUE 5 target: ≥ 5× apart).
+    let big = 1_000_000_000_000; // 1 TB: ~minutes of simulated drain time
+    for (label, full) in [
+        ("fairshare_incremental_churn", false),
+        ("fairshare_fullsolve_churn", true),
+    ] {
+        let (g, paths) = clusters_topo(250);
+        c.bench_function(label, |b| {
+            let mut net = SimNet::new(&g);
+            net.set_full_resolve(full);
+            fill(&mut net, &paths, 4, big);
+            net.next_event_time(); // warm: initial global solve
+            b.iter(|| {
+                let now = net.now();
+                let id = net.start_flow(now, &paths[0], 1_000_000, 0);
+                net.next_event_time();
+                net.cancel_flow(now, id);
+                net.next_event_time()
+            })
+        });
+    }
+    // Full lifecycle: drive n flows from start to completion through the
+    // next_event_time / advance_to pull loop. The 8-flow case guards the
+    // small-simulation regime against regression from the heap machinery.
+    for (label, n_flows) in [
+        ("simnet_advance_8_flows", 8usize),
+        ("simnet_advance_1k_flows", 1000),
+    ] {
+        let (g, paths) = clusters_topo((n_flows / 4).max(1));
+        c.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut net = SimNet::new(&g);
+                    fill(&mut net, &paths, 4, 1_000_000);
+                    net
+                },
+                |mut net| {
+                    let mut done = 0usize;
+                    while let Some(t) = net.next_event_time() {
+                        done += net.advance_to(t).len();
+                    }
+                    done
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_switch(c: &mut Criterion) {
@@ -101,6 +179,6 @@ fn bench_fit(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_routing, bench_fairshare, bench_switch, bench_fit
+    targets = bench_routing, bench_fairshare, bench_simnet, bench_switch, bench_fit
 }
 criterion_main!(micro);

@@ -15,6 +15,7 @@
 
 pub mod aggbench;
 pub mod report;
+pub mod simbench;
 pub mod sweep;
 
 pub use report::{emit, print_table, ExpTable};

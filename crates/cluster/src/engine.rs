@@ -364,6 +364,14 @@ impl ClusterSim {
     }
 
     /// Run until `horizon` and produce the report.
+    ///
+    /// The interleave contract with `SimNet`'s incremental engine
+    /// (DESIGN.md §9): `next_event_time` is `>= now` (clamped), may be
+    /// `SimTime::MAX` while every flow is starved by a dead link, and
+    /// `advance_to(t)` delivers completions in `(finish, id)` order. A
+    /// cancelled-but-drained flow is *not* returned by `cancel_flow`;
+    /// its completion still arrives here and is demuxed to an already
+    /// dissolved collective, which `on_flow_done` ignores by design.
     pub fn run(&mut self, horizon: SimTime) -> SimReport {
         loop {
             let tq = self.events.peek_time();

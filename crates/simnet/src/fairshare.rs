@@ -10,6 +10,18 @@
 //! The allocation is *unique*, so the result is independent of iteration
 //! order; ties in bottleneck selection are broken by link index purely for
 //! determinism of intermediate state.
+//!
+//! Two entry points compute the same allocation:
+//!
+//! * [`compute_rates`] — the from-scratch reference: allocates its own
+//!   working state per call and scans every link. Retained as the
+//!   equivalence oracle for the incremental engine (`tests/equivalence.rs`).
+//! * [`SolverWorkspace::solve`] — the hot-path kernel: borrows persistent
+//!   buffers (zero allocation at steady state) and visits only the links
+//!   the given flows actually cross, which makes it usable both for full
+//!   solves and for *restricted subsets* (a connected component of the
+//!   flow/link incidence graph). Bit-identical to [`compute_rates`]: same
+//!   per-link accumulation order, same bottleneck tie-break, same clamps.
 
 /// A flow description for rate computation: the links it crosses (as dense
 /// indices) and its weight (relative share; 1.0 for ordinary flows).
@@ -105,6 +117,149 @@ pub fn compute_rates(capacities: &[f64], flows: &[FlowDemand<'_>]) -> Vec<f64> {
     rates
 }
 
+/// One flow's slice of the flat slot arena passed to
+/// [`SolverWorkspace::solve`], plus its fair-share weight.
+///
+/// The arena layout decouples the solver from how the caller stores paths:
+/// the caller appends each flow's (deduplicated) link indices to one flat
+/// `Vec<usize>` and records the span here, so rebuilding the demand set for
+/// a solve is a buffer refill, never a per-flow allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpan {
+    /// Offset of the first link index in the flat arena.
+    pub start: u32,
+    /// Number of link indices (0 for an empty, unconstrained path).
+    pub len: u32,
+    /// Relative weight; must be > 0.
+    pub weight: f64,
+}
+
+/// Persistent working state for the water-filling solver.
+///
+/// Per-link arrays are sized to the largest capacity vector seen and
+/// re-initialized *lazily* (a generation stamp per link), so a solve touches
+/// only the links its flows cross — `O(Σ path_len + rounds × active_links)`
+/// regardless of topology size — and performs no allocation once warm.
+#[derive(Default)]
+pub struct SolverWorkspace {
+    /// Remaining capacity per link (valid where `stamp == generation`).
+    rem_cap: Vec<f64>,
+    /// Total unfrozen weight per link (valid where `stamp == generation`).
+    link_weight: Vec<f64>,
+    /// Flow indices (into the span list) crossing each link.
+    link_flows: Vec<Vec<u32>>,
+    /// Lazy-init generation stamp per link.
+    stamp: Vec<u64>,
+    generation: u64,
+    /// Links with at least one flow this solve, ascending (the bottleneck
+    /// scan order — ascending matches `compute_rates`' tie-break).
+    active: Vec<usize>,
+    frozen: Vec<bool>,
+    rates: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Weighted max-min fair rates for the flows described by `spans` over
+    /// `flat` (see [`FlowSpan`]), with link `capacities` in bits/s.
+    ///
+    /// Returns one rate per span, in span order; empty spans get
+    /// `f64::INFINITY`. The result is bit-identical to [`compute_rates`]
+    /// over the same flows — callers may pass *any subset* of the network's
+    /// flows, and as long as that subset is closed under link sharing (a
+    /// union of connected components of the flow/link graph), the rates
+    /// equal those of a global solve restricted to the subset.
+    pub fn solve(&mut self, capacities: &[f64], flat: &[usize], spans: &[FlowSpan]) -> &[f64] {
+        let n_links = capacities.len();
+        let n_flows = spans.len();
+        if self.stamp.len() < n_links {
+            self.rem_cap.resize(n_links, 0.0);
+            self.link_weight.resize(n_links, 0.0);
+            self.link_flows.resize_with(n_links, Vec::new);
+            self.stamp.resize(n_links, 0);
+        }
+        self.frozen.clear();
+        self.frozen.resize(n_flows, false);
+        self.rates.clear();
+        self.rates.resize(n_flows, 0.0);
+        self.active.clear();
+        self.generation += 1;
+        let generation = self.generation;
+
+        let mut n_unfrozen = 0usize;
+        for (fi, s) in spans.iter().enumerate() {
+            debug_assert!(s.weight > 0.0, "flow weight must be positive");
+            let links = &flat[s.start as usize..(s.start + s.len) as usize];
+            if links.is_empty() {
+                self.rates[fi] = f64::INFINITY;
+                self.frozen[fi] = true;
+                continue;
+            }
+            n_unfrozen += 1;
+            for &l in links {
+                if self.stamp[l] != generation {
+                    self.stamp[l] = generation;
+                    self.rem_cap[l] = capacities[l];
+                    self.link_weight[l] = 0.0;
+                    self.link_flows[l].clear();
+                    self.active.push(l);
+                }
+                self.link_weight[l] += s.weight;
+                self.link_flows[l].push(fi as u32);
+            }
+        }
+        // Bottleneck ties break by ascending link index, exactly as the
+        // reference solver's 0..n_links scan does.
+        self.active.sort_unstable();
+
+        while n_unfrozen > 0 {
+            let mut best_link = usize::MAX;
+            let mut best_share = f64::INFINITY;
+            for &l in &self.active {
+                if self.link_weight[l] > 0.0 {
+                    let share = (self.rem_cap[l].max(0.0)) / self.link_weight[l];
+                    if share < best_share {
+                        best_share = share;
+                        best_link = l;
+                    }
+                }
+            }
+            if best_link == usize::MAX {
+                // Shouldn't happen: unfrozen flows always have links with
+                // positive weight. Guard against float pathology anyway.
+                break;
+            }
+            // Freeze every unfrozen flow crossing the bottleneck. The flow
+            // list is iterated in place (no `mem::take`: the buffer must
+            // survive for reuse); stale frozen entries are skipped lazily.
+            for i in 0..self.link_flows[best_link].len() {
+                let fi = self.link_flows[best_link][i] as usize;
+                if self.frozen[fi] {
+                    continue;
+                }
+                let s = &spans[fi];
+                let r = s.weight * best_share;
+                self.rates[fi] = r;
+                self.frozen[fi] = true;
+                n_unfrozen -= 1;
+                for &l in &flat[s.start as usize..(s.start + s.len) as usize] {
+                    self.rem_cap[l] -= r;
+                    self.link_weight[l] -= s.weight;
+                    if self.link_weight[l] < 1e-12 {
+                        self.link_weight[l] = 0.0;
+                    }
+                }
+            }
+            self.link_weight[best_link] = 0.0;
+        }
+        &self.rates[..n_flows]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +343,67 @@ mod tests {
         let r = compute_rates(&[100.0], &[]);
         assert!(r.is_empty());
     }
+
+    /// Pack paths into the flat-arena shape the workspace consumes.
+    fn pack(paths: &[Vec<usize>], weights: &[f64]) -> (Vec<usize>, Vec<FlowSpan>) {
+        let mut flat = Vec::new();
+        let mut spans = Vec::new();
+        for (p, &w) in paths.iter().zip(weights) {
+            spans.push(FlowSpan {
+                start: flat.len() as u32,
+                len: p.len() as u32,
+                weight: w,
+            });
+            flat.extend_from_slice(p);
+        }
+        (flat, spans)
+    }
+
+    #[test]
+    fn workspace_matches_reference_bitwise() {
+        let caps = vec![1.0, 10.0, 3.0];
+        let paths = vec![vec![0], vec![0, 1], vec![1], vec![], vec![1, 2]];
+        let weights = vec![1.0, 2.0, 1.0, 1.0, 0.5];
+        let flows: Vec<FlowDemand<'_>> = paths
+            .iter()
+            .zip(&weights)
+            .map(|(p, &w)| FlowDemand {
+                links: p,
+                weight: w,
+            })
+            .collect();
+        let expect = compute_rates(&caps, &flows);
+        let (flat, spans) = pack(&paths, &weights);
+        let mut ws = SolverWorkspace::new();
+        // Twice through the same workspace: reuse must not leak state.
+        for _ in 0..2 {
+            let got = ws.solve(&caps, &flat, &spans);
+            let a: Vec<u64> = expect.iter().map(|r| r.to_bits()).collect();
+            let b: Vec<u64> = got.iter().map(|r| r.to_bits()).collect();
+            assert_eq!(a, b, "workspace diverged from reference");
+        }
+    }
+
+    #[test]
+    fn workspace_subset_solve_matches_component_rates() {
+        // Two disjoint components: {0,1} on links {0,1}, {2} on link {2}.
+        // Solving only the second component must reproduce its global rate.
+        let caps = vec![1.0, 1.0, 4.0];
+        let paths = [vec![0, 1], vec![0], vec![2]];
+        let weights = [1.0; 3];
+        let flows: Vec<FlowDemand<'_>> = paths
+            .iter()
+            .map(|p| FlowDemand {
+                links: p,
+                weight: 1.0,
+            })
+            .collect();
+        let global = compute_rates(&caps, &flows);
+        let (flat, spans) = pack(&paths[2..], &weights[2..]);
+        let mut ws = SolverWorkspace::new();
+        let got = ws.solve(&caps, &flat, &spans);
+        assert_eq!(got[0].to_bits(), global[2].to_bits());
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +470,33 @@ mod proptests {
                     }
                 }
                 prop_assert!(bottlenecked, "flow {fi} has no bottleneck link");
+            }
+        }
+
+        /// The workspace kernel reproduces the reference solver bit for
+        /// bit on arbitrary instances (the property the incremental
+        /// engine's component-scoped solves lean on).
+        #[test]
+        fn workspace_bitwise_equals_reference((caps, paths) in arb_instance()) {
+            let flows: Vec<FlowDemand<'_>> = paths
+                .iter()
+                .map(|p| FlowDemand { links: p, weight: 1.0 })
+                .collect();
+            let expect = compute_rates(&caps, &flows);
+            let mut flat = Vec::new();
+            let mut spans = Vec::new();
+            for p in &paths {
+                spans.push(FlowSpan {
+                    start: flat.len() as u32,
+                    len: p.len() as u32,
+                    weight: 1.0,
+                });
+                flat.extend_from_slice(p);
+            }
+            let mut ws = SolverWorkspace::new();
+            let got = ws.solve(&caps, &flat, &spans);
+            for (fi, (a, b)) in expect.iter().zip(got).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "flow {} diverged", fi);
             }
         }
 

@@ -18,11 +18,18 @@
 //! * per-link byte counters and utilization estimates ([`monitor`]) play
 //!   the role of the switch hardware counters and DCGM NVLink counters the
 //!   paper's agents poll (§IV).
+//!
+//! Rate maintenance is incremental: [`SimNet`] owns a persistent
+//! [`SolverWorkspace`], re-solves only the connected component of
+//! links/flows a change touches, and finds completions through a
+//! lazily-invalidated min-heap — see `net.rs` and DESIGN.md §9. The
+//! from-scratch solver ([`compute_rates`]) is retained as the reference
+//! oracle for the equivalence suite.
 
 pub mod fairshare;
 pub mod monitor;
 pub mod net;
 
-pub use fairshare::compute_rates;
+pub use fairshare::{compute_rates, FlowSpan, SolverWorkspace};
 pub use monitor::LinkMonitor;
 pub use net::{DirLink, Flow, FlowId, SimNet};

@@ -9,11 +9,30 @@
 //! A flow's completion time is `max(serialization finish, start +
 //! path propagation delay)`; serialization progress accrues at the flow's
 //! current fair-share rate, which changes whenever flows start or finish.
+//!
+//! # Incremental fair-share engine
+//!
+//! Rate maintenance is *incremental* (see DESIGN.md §9). The simulator
+//! owns a persistent [`SolverWorkspace`] plus a link→flow incidence table,
+//! so a flow add/remove triggers a **component-scoped** re-solve: only the
+//! flows transitively sharing a link with the changed flow are re-rated
+//! (max-min allocations decompose across connected components of the
+//! flow/link graph, so untouched components keep their exact rates).
+//! [`SimNet::set_link_scale`] falls back to a full solve. Completion
+//! lookup uses a lazily-invalidated min-heap of `(finish, flow, epoch)`
+//! entries — a stale entry (its flow re-rated or gone) is discarded when
+//! it surfaces — making [`SimNet::next_event_time`] and the completion
+//! loop in [`SimNet::advance_to`] `O(log n)` per event instead of a scan
+//! over every active flow. Results are bit-identical to a from-scratch
+//! solve per event: `tests/equivalence.rs` drives arbitrary event
+//! sequences through this engine and a retained reference implementation
+//! and asserts identical rates, completions, and cumulative link bytes.
 
-use crate::fairshare::{compute_rates, FlowDemand};
+use crate::fairshare::{FlowSpan, SolverWorkspace};
 use hs_des::{SimSpan, SimTime};
 use hs_topology::{Graph, LinkId};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One directed hop: the link and whether it is traversed `a -> b`
 /// (links are full duplex; each direction is its own capacity pool).
@@ -51,6 +70,57 @@ pub struct Flow {
     pub earliest_finish: SimTime,
     /// Caller-supplied tag for demultiplexing completions.
     pub tag: u64,
+    /// Canonical completion estimate: fixed at each rate assignment (or
+    /// drain), never recomputed in between, so heap keys stay exact.
+    /// `SimTime::MAX` while starved (rate 0).
+    pub(crate) finish_at: SimTime,
+    /// Validity epoch of this flow's newest heap entry; entries carrying
+    /// an older epoch are stale and discarded when they surface.
+    pub(crate) epoch: u64,
+    /// Visit stamp for the component BFS (scoped re-solves).
+    pub(crate) seen: u64,
+}
+
+impl Flow {
+    /// The flow's current completion estimate (`SimTime::MAX` while it is
+    /// starved by a dead link).
+    pub fn finish_at(&self) -> SimTime {
+        self.finish_at
+    }
+}
+
+/// Which part of the rate state is out of date.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dirty {
+    /// Rates match the current flow set.
+    Clean,
+    /// Only components reachable from `seed_slots` need re-solving.
+    Scoped,
+    /// Everything needs re-solving (capacity change).
+    Full,
+}
+
+/// Min-heap entry: `(finish estimate, flow, epoch)`. The epoch tiebreak
+/// keeps pop order fully deterministic even among stale duplicates.
+type HeapEntry = Reverse<(SimTime, FlowId, u64)>;
+
+/// Reusable buffers for building solver inputs and running the component
+/// BFS — allocation-free at steady state.
+#[derive(Default)]
+struct SolveScratch {
+    /// Flat directed-slot arena (all component paths back to back).
+    flat: Vec<usize>,
+    /// One span per component flow, in ascending [`FlowId`] order.
+    spans: Vec<FlowSpan>,
+    /// Component flow ids, parallel to `spans`.
+    ids: Vec<FlowId>,
+    /// Directed slots belonging to the component (incl. seed slots whose
+    /// last flow just left — their allocated rate must drop to zero).
+    comp_links: Vec<usize>,
+    /// BFS work stack of directed slots.
+    queue: Vec<usize>,
+    /// Visit stamp per directed slot (lazy reset via generation counter).
+    link_stamp: Vec<u64>,
 }
 
 /// Flow-level network state over a fixed topology.
@@ -61,6 +131,9 @@ pub struct SimNet {
     /// Nominal per-link capacity; `capacities[i] = base_capacities[i] *
     /// scale` where scale is set by [`SimNet::set_link_scale`].
     base_capacities: Vec<f64>,
+    /// Directed-slot capacity vector fed to the solver (2 slots per link),
+    /// kept in sync with `capacities`.
+    dir_caps: Vec<f64>,
     link_latency_ns: Vec<u64>,
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
@@ -70,7 +143,24 @@ pub struct SimNet {
     cum_bytes: Vec<f64>,
     /// Allocated rate per directed link (sum of flow rates), bits/s.
     link_rate: Vec<f64>,
-    rates_dirty: bool,
+    /// Which flows cross each directed slot, ascending by id (ids are
+    /// monotone, so insertion is an append and order is free).
+    incidence: Vec<Vec<FlowId>>,
+    dirty: Dirty,
+    /// Directed slots touched by flow adds/removes since the last solve.
+    seed_slots: Vec<usize>,
+    /// Lazy-invalidation completion heap.
+    heap: BinaryHeap<HeapEntry>,
+    /// Monotone epoch source for heap entries.
+    epochs: u64,
+    /// Generation counter for BFS visit stamps.
+    visit_gen: u64,
+    ws: SolverWorkspace,
+    scratch: SolveScratch,
+    /// Validation/benchmark knob: when set, every re-solve is global (the
+    /// pre-incremental behaviour). Results are bit-identical either way —
+    /// asserted by `tests/equivalence.rs`.
+    full_resolve: bool,
     /// Flow/link event sink; no-op unless attached via
     /// [`SimNet::set_tracer`]. Never affects simulation state.
     tracer: hs_obs::Tracer,
@@ -82,16 +172,33 @@ impl SimNet {
         let capacities = graph.capacities();
         let link_latency_ns = graph.links().map(|(_, l)| l.latency_ns).collect();
         let n = capacities.len();
+        let mut dir_caps = Vec::with_capacity(2 * n);
+        for &c in &capacities {
+            dir_caps.push(c);
+            dir_caps.push(c);
+        }
         SimNet {
             base_capacities: capacities.clone(),
             capacities,
+            dir_caps,
             link_latency_ns,
             flows: BTreeMap::new(),
             next_id: 0,
             clock: SimTime::ZERO,
             cum_bytes: vec![0.0; 2 * n],
             link_rate: vec![0.0; 2 * n],
-            rates_dirty: false,
+            incidence: vec![Vec::new(); 2 * n],
+            dirty: Dirty::Clean,
+            seed_slots: Vec::new(),
+            heap: BinaryHeap::new(),
+            epochs: 0,
+            visit_gen: 0,
+            ws: SolverWorkspace::new(),
+            scratch: SolveScratch {
+                link_stamp: vec![0; 2 * n],
+                ..SolveScratch::default()
+            },
+            full_resolve: false,
             tracer: hs_obs::Tracer::noop(),
         }
     }
@@ -99,6 +206,15 @@ impl SimNet {
     /// Attach a tracer for flow start/abort and link-scale events.
     pub fn set_tracer(&mut self, tracer: &hs_obs::Tracer) {
         self.tracer = tracer.clone();
+    }
+
+    /// Force every re-solve to be global instead of component-scoped.
+    ///
+    /// A validation/benchmark knob: rates, completions, and byte counters
+    /// are bit-identical in both modes (the equivalence suite asserts so);
+    /// only the work per event differs.
+    pub fn set_full_resolve(&mut self, on: bool) {
+        self.full_resolve = on;
     }
 
     /// Current internal clock (last `advance_to` or flow start).
@@ -136,35 +252,66 @@ impl SimNet {
             .map(|&(l, _)| self.link_latency_ns[l.idx()])
             .sum();
         let prop = SimSpan::from_nanos(prop_ns);
-        self.flows.insert(
-            id,
-            Flow {
-                path: path.to_vec(),
-                remaining_bytes: bytes as f64,
-                size_bytes: bytes,
-                rate_bps: 0.0,
-                weight,
-                started: now,
-                prop,
-                earliest_finish: now + prop,
-                tag,
-            },
-        );
-        self.rates_dirty = true;
+        let mut f = Flow {
+            path: path.to_vec(),
+            remaining_bytes: bytes as f64,
+            size_bytes: bytes,
+            rate_bps: 0.0,
+            weight,
+            started: now,
+            prop,
+            earliest_finish: now + prop,
+            tag,
+            finish_at: SimTime::MAX,
+            epoch: 0,
+            seen: 0,
+        };
+        if path.is_empty() {
+            // Local copy: unconstrained, delivered after propagation only.
+            f.rate_bps = f64::INFINITY;
+        }
+        if path.is_empty() || f.remaining_bytes <= 0.0 {
+            // Nothing to serialize (or nothing constraining it): the
+            // completion estimate is final right now.
+            f.finish_at = f.earliest_finish;
+            self.epochs += 1;
+            f.epoch = self.epochs;
+            self.heap.push(Reverse((f.finish_at, id, f.epoch)));
+        }
+        if !path.is_empty() {
+            for &d in path {
+                self.incidence[slot(d)].push(id);
+            }
+            self.mark_dirty_path(path);
+        }
+        self.flows.insert(id, f);
         self.tracer.flow_start(now, id.0, tag, bytes, path.len());
         id
     }
 
     /// Remove a flow before completion (e.g. a cancelled transfer).
-    /// Returns the flow if it was active.
+    ///
+    /// Returns the flow if it was active and still serializing. A flow
+    /// that has already drained — every byte delivered, completion only
+    /// awaiting the last bit's propagation — is *not* cancellable: the
+    /// call returns `None` and the completion is still delivered by
+    /// [`SimNet::advance_to`], so callers can distinguish a true
+    /// mid-flight abort (`Some`, `remaining_bytes > 0`) from a transfer
+    /// that actually finished.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<Flow> {
         self.progress_to(now);
-        let f = self.flows.remove(&id);
-        if f.is_some() {
-            self.rates_dirty = true;
-            self.tracer.flow_abort(now, id.0, "cancelled");
+        let drained = match self.flows.get(&id) {
+            None => return None,
+            Some(f) => f.remaining_bytes <= 0.0 && !f.path.is_empty(),
+        };
+        if drained {
+            return None;
         }
-        f
+        let f = self.flows.remove(&id).expect("flow looked up just above");
+        self.unlink(id, &f.path);
+        self.mark_dirty_path(&f.path);
+        self.tracer.flow_abort(now, id.0, "cancelled");
+        Some(f)
     }
 
     /// Inspect an active flow.
@@ -173,17 +320,26 @@ impl SimNet {
     }
 
     /// The time of the earliest flow completion, or `None` when idle.
+    ///
+    /// `O(log n)` amortized: stale heap entries are popped as they
+    /// surface; the first valid entry is the answer (every non-starved
+    /// flow keeps exactly one valid entry).
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        self.recompute_rates_if_dirty();
-        let mut best: Option<SimTime> = None;
-        for f in self.flows.values() {
-            let t = self.finish_estimate(f);
-            best = Some(match best {
-                Some(b) if b <= t => b,
-                _ => t,
-            });
+        self.solve_if_dirty();
+        while let Some(&Reverse((t, id, ep))) = self.heap.peek() {
+            match self.flows.get(&id) {
+                Some(f) if f.epoch == ep => return Some(t.max(self.clock)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
         }
-        best
+        if self.flows.is_empty() {
+            None
+        } else {
+            // Every remaining flow is starved (rate 0 on a dead link).
+            Some(SimTime::MAX)
+        }
     }
 
     /// Advance the clock to `now`, accruing flow progress, and return the
@@ -192,29 +348,33 @@ impl SimNet {
         assert!(now >= self.clock, "SimNet clock must be monotone");
         let mut done = Vec::new();
         // Completions change rates, which changes later completions within
-        // the same window — loop until no flow finishes at or before `now`.
+        // the same window — each pop triggers a (component-scoped)
+        // re-solve before the next is accepted.
         loop {
-            self.recompute_rates_if_dirty();
-            // Earliest finish estimate in the window.
-            let mut next: Option<(SimTime, FlowId)> = None;
-            for (&id, f) in &self.flows {
-                let t = self.finish_estimate(f);
-                if t <= now {
-                    match next {
-                        Some((bt, _)) if bt <= t => {}
-                        _ => next = Some((t, id)),
-                    }
-                }
-            }
-            let Some((t, id)) = next else {
+            self.solve_if_dirty();
+            let Some((t, id)) = self.peek_valid() else {
                 self.progress_to(now);
                 break;
             };
+            if t > now {
+                self.progress_to(now);
+                break;
+            }
+            // Accrue up to the candidate first: the accrual may drain
+            // another flow whose last bit lands even earlier, so re-check
+            // the front before committing.
             self.progress_to(t);
-            let mut f = self.flows.remove(&id).expect("flow vanished");
-            f.remaining_bytes = 0.0;
-            self.rates_dirty = true;
-            done.push((id, f));
+            match self.peek_valid() {
+                Some((t2, id2)) if (t2, id2) == (t, id) => {
+                    self.heap.pop();
+                    let mut f = self.flows.remove(&id).expect("front flow is live");
+                    self.unlink(id, &f.path);
+                    self.mark_dirty_path(&f.path);
+                    f.remaining_bytes = 0.0;
+                    done.push((id, f));
+                }
+                _ => continue,
+            }
         }
         done
     }
@@ -224,7 +384,7 @@ impl SimNet {
     /// instantaneous `B(e)`-complement the online scheduler's cost
     /// tables consume.
     pub fn link_utilization(&mut self, l: LinkId) -> f64 {
-        self.recompute_rates_if_dirty();
+        self.solve_if_dirty();
         let fwd = self.link_rate[l.idx() * 2];
         let rev = self.link_rate[l.idx() * 2 + 1];
         Self::util(fwd.max(rev), self.capacities[l.idx()])
@@ -232,7 +392,7 @@ impl SimNet {
 
     /// Snapshot of all link utilizations (busier direction per link).
     pub fn utilization_snapshot(&mut self) -> Vec<f64> {
-        self.recompute_rates_if_dirty();
+        self.solve_if_dirty();
         (0..self.capacities.len())
             .map(|i| {
                 Self::util(
@@ -257,7 +417,7 @@ impl SimNet {
     /// Residual bandwidth `B(e) = C(e) - allocated` per link, bits/s
     /// (busier direction) — the planner's Table I input.
     pub fn residual_bandwidth(&mut self) -> Vec<f64> {
-        self.recompute_rates_if_dirty();
+        self.solve_if_dirty();
         (0..self.capacities.len())
             .map(|i| {
                 (self.capacities[i] - self.link_rate[i * 2].max(self.link_rate[i * 2 + 1])).max(0.0)
@@ -293,7 +453,9 @@ impl SimNet {
     /// Set a link's capacity to `factor` of nominal at time `now` (a
     /// fault when `factor < 1`, a recovery when it returns to `1.0`).
     ///
-    /// Surviving flows are re-rated max-min fairly at the next query.
+    /// Surviving flows are re-rated max-min fairly at the next query —
+    /// this is the one event that forces a *full* re-solve (a capacity
+    /// change shifts bottlenecks globally, not just in one component).
     /// When `factor` is zero the link is dead: every flow crossing it
     /// (either direction) is aborted and returned, with its progress
     /// accrued up to `now`, so the caller can retry over another route.
@@ -306,8 +468,11 @@ impl SimNet {
             "link scale must be in [0, 1], got {factor}"
         );
         self.progress_to(now);
-        self.capacities[l.idx()] = self.base_capacities[l.idx()] * factor;
-        self.rates_dirty = true;
+        let cap = self.base_capacities[l.idx()] * factor;
+        self.capacities[l.idx()] = cap;
+        self.dir_caps[l.idx() * 2] = cap;
+        self.dir_caps[l.idx() * 2 + 1] = cap;
+        self.dirty = Dirty::Full;
         let crossing = || {
             self.flows
                 .values()
@@ -336,23 +501,230 @@ impl SimNet {
         }
         doomed
             .into_iter()
-            .map(|id| (id, self.flows.remove(&id).expect("doomed flow present")))
+            .map(|id| {
+                let f = self.flows.remove(&id).expect("doomed flow present");
+                self.unlink(id, &f.path);
+                (id, f)
+            })
             .collect()
     }
 
-    fn finish_estimate(&self, f: &Flow) -> SimTime {
-        if f.remaining_bytes <= 0.0 || f.rate_bps.is_infinite() {
-            // Drained (or an instantaneous local copy): waiting only for
-            // the last bit's propagation.
-            return f.earliest_finish.max(self.clock);
+    // ------------------------------------------------------------------
+    // Incremental engine internals
+    // ------------------------------------------------------------------
+
+    /// Record that a flow over `path` was added or removed: its directed
+    /// slots seed the next component-scoped re-solve.
+    fn mark_dirty_path(&mut self, path: &[DirLink]) {
+        if path.is_empty() || self.dirty == Dirty::Full {
+            // Empty paths never contend for bandwidth; a full re-solve
+            // already covers everything.
+            return;
+        }
+        self.dirty = Dirty::Scoped;
+        for &d in path {
+            self.seed_slots.push(slot(d));
+        }
+    }
+
+    /// Remove `id` from the incidence lists of every hop of `path`.
+    fn unlink(&mut self, id: FlowId, path: &[DirLink]) {
+        for &d in path {
+            let v = &mut self.incidence[slot(d)];
+            if let Ok(i) = v.binary_search(&id) {
+                v.remove(i);
+            } else {
+                debug_assert!(false, "flow missing from incidence list");
+            }
+        }
+    }
+
+    /// Earliest valid heap entry, discarding stale ones on the way.
+    fn peek_valid(&mut self) -> Option<(SimTime, FlowId)> {
+        while let Some(&Reverse((t, id, ep))) = self.heap.peek() {
+            match self.flows.get(&id) {
+                Some(f) if f.epoch == ep => return Some((t, id)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Completion estimate for a *serializing* flow at `clock` (callers
+    /// handle the drained and starved cases).
+    fn serial_estimate(clock: SimTime, f: &Flow) -> SimTime {
+        if f.rate_bps.is_infinite() {
+            return f.earliest_finish;
         }
         // simlint::allow(float-eq, 0.0 is an exact assigned sentinel for starved flows, never computed)
         if f.rate_bps == 0.0 {
             return SimTime::MAX;
         }
         let secs = f.remaining_bytes * 8.0 / f.rate_bps;
-        let ser = self.clock + SimSpan::from_secs_f64(secs).saturating_add(SimSpan::from_nanos(1));
+        let ser = clock + SimSpan::from_secs_f64(secs).saturating_add(SimSpan::from_nanos(1));
         (ser + f.prop).max(f.earliest_finish)
+    }
+
+    /// Install a freshly solved rate on `f`. The completion estimate (and
+    /// its heap entry) is refreshed only when the rate *value* changed:
+    /// under an unchanged rate the estimate is invariant (progress accrues
+    /// at exactly that rate), so keeping the stored one avoids rounding
+    /// drift — the property that makes incremental and from-scratch
+    /// solving bit-identical.
+    fn assign_rate(
+        f: &mut Flow,
+        id: FlowId,
+        rate: f64,
+        clock: SimTime,
+        heap: &mut BinaryHeap<HeapEntry>,
+        epochs: &mut u64,
+    ) {
+        if rate.to_bits() == f.rate_bps.to_bits() {
+            return;
+        }
+        f.rate_bps = rate;
+        if f.remaining_bytes <= 0.0 {
+            // Drained: completion waits only on propagation; the rate no
+            // longer matters for the estimate.
+            return;
+        }
+        let finish = Self::serial_estimate(clock, f);
+        if finish != f.finish_at {
+            f.finish_at = finish;
+            *epochs += 1;
+            f.epoch = *epochs;
+            if finish < SimTime::MAX {
+                heap.push(Reverse((finish, id, f.epoch)));
+            }
+        }
+    }
+
+    /// Re-solve whatever subset of the rate state is out of date.
+    fn solve_if_dirty(&mut self) {
+        match self.dirty {
+            Dirty::Clean => return,
+            Dirty::Full => self.solve_full(),
+            Dirty::Scoped => {
+                if self.full_resolve {
+                    self.solve_full();
+                } else {
+                    self.solve_scoped();
+                }
+            }
+        }
+        self.dirty = Dirty::Clean;
+        self.seed_slots.clear();
+    }
+
+    /// Global re-solve: every flow, every carried link.
+    fn solve_full(&mut self) {
+        let scratch = &mut self.scratch;
+        scratch.flat.clear();
+        scratch.spans.clear();
+        scratch.ids.clear();
+        for (&id, f) in &self.flows {
+            scratch.ids.push(id);
+            scratch.spans.push(FlowSpan {
+                start: scratch.flat.len() as u32,
+                len: f.path.len() as u32,
+                weight: f.weight,
+            });
+            scratch.flat.extend(f.path.iter().map(|&d| slot(d)));
+        }
+        let rates = self.ws.solve(&self.dir_caps, &scratch.flat, &scratch.spans);
+        for r in self.link_rate.iter_mut() {
+            *r = 0.0;
+        }
+        let clock = self.clock;
+        for (i, &id) in scratch.ids.iter().enumerate() {
+            let f = self
+                .flows
+                .get_mut(&id)
+                .expect("solved flow is still present");
+            let rate = rates[i];
+            if rate.is_finite() {
+                for &d in &f.path {
+                    self.link_rate[slot(d)] += rate;
+                }
+            }
+            Self::assign_rate(f, id, rate, clock, &mut self.heap, &mut self.epochs);
+        }
+    }
+
+    /// Component-scoped re-solve: BFS over the flow/link incidence graph
+    /// from the seed slots, then solve only the reached flows. Flows on
+    /// disjoint links keep their rates — sound because the weighted
+    /// max-min allocation is unique and decomposes across connected
+    /// components (DESIGN.md §9).
+    fn solve_scoped(&mut self) {
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        let scratch = &mut self.scratch;
+        scratch.queue.clear();
+        scratch.comp_links.clear();
+        scratch.ids.clear();
+        for &s in &self.seed_slots {
+            if scratch.link_stamp[s] != gen {
+                scratch.link_stamp[s] = gen;
+                scratch.queue.push(s);
+            }
+        }
+        while let Some(s) = scratch.queue.pop() {
+            scratch.comp_links.push(s);
+            for &fid in &self.incidence[s] {
+                let f = self
+                    .flows
+                    .get_mut(&fid)
+                    .expect("incidence names a live flow");
+                if f.seen == gen {
+                    continue;
+                }
+                f.seen = gen;
+                scratch.ids.push(fid);
+                for &d in &f.path {
+                    let sl = slot(d);
+                    if scratch.link_stamp[sl] != gen {
+                        scratch.link_stamp[sl] = gen;
+                        scratch.queue.push(sl);
+                    }
+                }
+            }
+        }
+        // Ascending-id order so per-link weight sums accumulate in exactly
+        // the order a full solve would use (float addition order matters
+        // for bit-identity).
+        scratch.ids.sort_unstable();
+        scratch.flat.clear();
+        scratch.spans.clear();
+        for &id in &scratch.ids {
+            let f = &self.flows[&id];
+            scratch.spans.push(FlowSpan {
+                start: scratch.flat.len() as u32,
+                len: f.path.len() as u32,
+                weight: f.weight,
+            });
+            scratch.flat.extend(f.path.iter().map(|&d| slot(d)));
+        }
+        let rates = self.ws.solve(&self.dir_caps, &scratch.flat, &scratch.spans);
+        for &s in &scratch.comp_links {
+            self.link_rate[s] = 0.0;
+        }
+        let clock = self.clock;
+        for (i, &id) in scratch.ids.iter().enumerate() {
+            let f = self
+                .flows
+                .get_mut(&id)
+                .expect("solved flow is still present");
+            let rate = rates[i];
+            if rate.is_finite() {
+                for &d in &f.path {
+                    self.link_rate[slot(d)] += rate;
+                }
+            }
+            Self::assign_rate(f, id, rate, clock, &mut self.heap, &mut self.epochs);
+        }
     }
 
     /// Accrue progress for all flows up to `t` (no completions handled).
@@ -360,9 +732,12 @@ impl SimNet {
         if t <= self.clock {
             return;
         }
-        self.recompute_rates_if_dirty();
+        self.solve_if_dirty();
         let dt = (t - self.clock).as_secs_f64();
-        for f in self.flows.values_mut() {
+        let clock = self.clock;
+        let heap = &mut self.heap;
+        let epochs = &mut self.epochs;
+        for (&id, f) in self.flows.iter_mut() {
             if f.rate_bps > 0.0 && f.rate_bps.is_finite() && f.remaining_bytes > 0.0 {
                 let bytes = f.rate_bps / 8.0 * dt;
                 let consumed = bytes.min(f.remaining_bytes);
@@ -370,7 +745,7 @@ impl SimNet {
                 // bit's arrival time (drain instant + propagation).
                 if consumed >= f.remaining_bytes {
                     let drain_secs = f.remaining_bytes * 8.0 / f.rate_bps;
-                    let drained_at = self.clock + SimSpan::from_secs_f64(drain_secs);
+                    let drained_at = clock + SimSpan::from_secs_f64(drain_secs);
                     f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
                 }
                 f.remaining_bytes -= consumed;
@@ -380,51 +755,19 @@ impl SimNet {
                 for &d in &f.path {
                     self.cum_bytes[slot(d)] += consumed;
                 }
+                if f.remaining_bytes <= 0.0 && f.finish_at != f.earliest_finish {
+                    // Drain transition: the estimate is final now.
+                    f.finish_at = f.earliest_finish;
+                    *epochs += 1;
+                    f.epoch = *epochs;
+                    heap.push(Reverse((f.finish_at, id, f.epoch)));
+                }
             } else if f.rate_bps.is_infinite() {
                 // Empty-path flow: delivered instantly, no link bytes.
                 f.remaining_bytes = 0.0;
             }
         }
         self.clock = t;
-    }
-
-    fn recompute_rates_if_dirty(&mut self) {
-        if !self.rates_dirty {
-            return;
-        }
-        // Dense directed-slot paths for the fair-share solver.
-        let paths: Vec<Vec<usize>> = self
-            .flows
-            .values()
-            .map(|f| f.path.iter().map(|&d| slot(d)).collect())
-            .collect();
-        let demands: Vec<FlowDemand<'_>> = paths
-            .iter()
-            .zip(self.flows.values())
-            .map(|(p, f)| FlowDemand {
-                links: p,
-                weight: f.weight,
-            })
-            .collect();
-        // Directed capacity vector: full capacity per direction.
-        let mut dir_caps = Vec::with_capacity(self.capacities.len() * 2);
-        for &c in &self.capacities {
-            dir_caps.push(c);
-            dir_caps.push(c);
-        }
-        let rates = compute_rates(&dir_caps, &demands);
-        for r in self.link_rate.iter_mut() {
-            *r = 0.0;
-        }
-        for ((f, rate), path) in self.flows.values_mut().zip(&rates).zip(&paths) {
-            f.rate_bps = *rate;
-            if rate.is_finite() {
-                for &l in path {
-                    self.link_rate[l] += rate;
-                }
-            }
-        }
-        self.rates_dirty = false;
     }
 }
 
@@ -535,6 +878,33 @@ mod tests {
         assert!((t.as_micros_f64() - 10.0 - 76.0).abs() < 1.0, "{t}");
     }
 
+    /// Regression: a flow that has drained but whose last bit is still
+    /// propagating is *finished* from the sender's perspective — cancel
+    /// must refuse (`None`) and the completion must still be delivered,
+    /// so callers never mistake delivered bytes for an aborted transfer.
+    #[test]
+    fn cancel_of_drained_flow_is_a_noop_and_still_completes() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        // 1 MB at 100 Gbps drains at 80 us; last bit arrives at 82 us.
+        let id = net.start_flow(SimTime::ZERO, &fwd(&links), 1_000_000, 42);
+        let finish = net.next_event_time().unwrap();
+        // Move to a point strictly between drain and arrival.
+        let between = SimTime::from_micros(81);
+        assert!(net.advance_to(between).is_empty());
+        assert_eq!(net.flow(id).unwrap().remaining_bytes, 0.0);
+        // The cancel is refused: all bytes were delivered.
+        assert!(net.cancel_flow(between, id).is_none());
+        // ... and the completion still arrives on time.
+        let done = net.advance_to(finish);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, id);
+        assert_eq!(done[0].1.tag, 42);
+        assert_eq!(done[0].1.remaining_bytes, 0.0);
+        // A second cancel of the now-gone flow is also None.
+        assert!(net.cancel_flow(finish, id).is_none());
+    }
+
     #[test]
     fn empty_path_completes_immediately() {
         let (g, _, _) = line();
@@ -642,6 +1012,36 @@ mod tests {
             "delivered {}",
             net.cumulative_bytes(links[0])
         );
+    }
+
+    /// The incremental engine and a forced full re-solve must agree bit
+    /// for bit on a scenario that exercises scoped solves, completions,
+    /// cancels, and a fault (`tests/equivalence.rs` covers arbitrary
+    /// sequences; this is the in-crate smoke version).
+    #[test]
+    fn incremental_matches_full_resolve_bitwise() {
+        let run = |full: bool| {
+            let (g, _, links) = line();
+            let mut net = SimNet::new(&g);
+            net.set_full_resolve(full);
+            let mut log: Vec<(u64, u64)> = Vec::new();
+            net.start_flow(SimTime::ZERO, &fwd(&links), 2_000_000, 1);
+            let b = net.start_flow(SimTime::from_micros(30), &fwd(&links[..1]), 1_000_000, 2);
+            net.start_flow(SimTime::from_micros(40), &fwd(&links[1..]), 500_000, 3);
+            net.set_link_scale(SimTime::from_micros(60), links[0], 0.5);
+            for (id, f) in net.advance_to(SimTime::from_micros(120)) {
+                log.push((id.0, f.tag));
+            }
+            net.cancel_flow(SimTime::from_micros(130), b);
+            for (id, f) in net.advance_to(SimTime::from_millis(4)) {
+                log.push((id.0, f.tag));
+            }
+            let bytes: Vec<u64> = (0..2)
+                .map(|i| net.cumulative_bytes(links[i]).to_bits())
+                .collect();
+            (log, bytes, net.active_flow_count())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
