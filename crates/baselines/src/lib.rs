@@ -156,6 +156,16 @@ impl Deployment {
         self
     }
 
+    /// Override the online scheduler's tunables (e.g. the KV decode-
+    /// selection policy for A/B sweeps). No-op for static baselines,
+    /// which have no online scheduler.
+    pub fn with_scheduler_params(mut self, params: heroserve::scheduler::SchedulerParams) -> Self {
+        if let Some(h) = &mut self.hero {
+            h.sched_params = params;
+        }
+        self
+    }
+
     /// All-pairs structures over GPUs + INA switches.
     pub fn all_pairs(&self) -> AllPairs {
         let mut nodes: Vec<NodeId> = self.topology.all_gpus();

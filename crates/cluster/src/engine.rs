@@ -9,9 +9,11 @@
 use crate::batching::{form_prefill_batch, BatchPolicy};
 use crate::instance::{InstPhase, Instance, InstanceKind, InstanceSpec};
 use crate::kvcache::KvManager;
+use crate::kvflow::{stripe_plan, KvStripe};
 use crate::metrics::{MemSample, SimReport};
 use crate::request::{ReqPhase, ReqState};
-use crate::strategy::{BusyPolicy, CommCtx, CommStrategy};
+use crate::strategy::{BusyPolicy, CommCtx, CommStrategy, KvCandidate, KvCtx};
+use hs_collective::latency::path_transfer_secs;
 use hs_collective::{CollectiveExec, CollectivePlan, Phase, Progress, Scheme};
 use hs_des::{EventQueue, SimSpan, SimTime};
 use hs_model::{
@@ -137,15 +139,28 @@ struct PendingRetry {
     aborted_at: SimTime,
 }
 
-/// Route/volume of an in-flight KV transfer, kept so a fault-induced
-/// abort can be retried (the whole transfer is resent — retransmission
-/// from zero is the conservative model).
+/// One in-flight KV shipment: the Eq. 15 stripe plan (kept so a
+/// fault-induced abort can relaunch from the *true* source GPUs), the
+/// simnet flows currently carrying it, and retry bookkeeping. The whole
+/// shipment is resent on abort — retransmission from zero is the
+/// conservative model.
 struct KvFlight {
-    src: NodeId,
-    dst: NodeId,
-    bytes: u64,
+    /// Eq. 15 stripe plan (src/dst GPU pairs and their byte shares),
+    /// sourced from the *true* prefill instance's GPUs — the plan is
+    /// immutable across retries, only the routes are re-chosen.
+    stripes: Vec<KvStripe>,
+    /// Flows currently in the air, one per launched stripe. The shipment
+    /// completes when this empties.
+    live: Vec<FlowId>,
     attempt: u32,
+    /// When the selector launched the shipment (realized-time metric).
+    started: SimTime,
     aborted_at: SimTime,
+    /// A retry is scheduled: surviving stripes were cancelled and stale
+    /// completions must be ignored until the relaunch.
+    retry_pending: bool,
+    /// Admission-time transfer estimate, seconds (estimator audit).
+    est_s: f64,
 }
 
 /// Capped exponential backoff before relaunching aborted work.
@@ -170,8 +185,12 @@ struct ObsIds {
     colls: hs_obs::CounterId,
     coll_aborts: hs_obs::CounterId,
     faults: hs_obs::CounterId,
+    kv_transfers: hs_obs::CounterId,
+    kv_retries: hs_obs::CounterId,
+    kv_deferrals: hs_obs::CounterId,
     ttft: hs_obs::HistogramId,
     tpot: hs_obs::HistogramId,
+    kv_transfer_s: hs_obs::HistogramId,
 }
 
 impl ObsIds {
@@ -182,8 +201,15 @@ impl ObsIds {
             colls: m.counter("collectives_launched"),
             coll_aborts: m.counter("collectives_aborted"),
             faults: m.counter("fault_events"),
+            kv_transfers: m.counter("kv_transfers_launched"),
+            kv_retries: m.counter("kv_transfer_retries"),
+            kv_deferrals: m.counter("kv_admission_deferrals"),
             ttft: m.histogram("ttft_s", &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0]),
             tpot: m.histogram("tpot_s", &[0.01, 0.025, 0.05, 0.1, 0.15, 0.3, 1.0]),
+            kv_transfer_s: m.histogram(
+                "kv_transfer_s",
+                &[0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0],
+            ),
         }
     }
 }
@@ -227,6 +253,16 @@ pub struct ClusterSim {
     /// Seconds from each fault-induced abort to a relaunch whose plan
     /// avoids every dead link (time-to-reroute samples).
     reroute_secs: Vec<f64>,
+    // --- KV-transfer accounting ---------------------------------------
+    kv_transfers: u64,
+    kv_stripes_launched: u64,
+    kv_retries: u64,
+    kv_deferrals: u64,
+    kv_bytes_total: u64,
+    /// Realized transfer time per completed shipment, seconds.
+    kv_transfer_secs: Vec<f64>,
+    /// |estimate − realized| per completed shipment, seconds.
+    kv_est_err_secs: Vec<f64>,
     // --- observability ------------------------------------------------
     tracer: hs_obs::Tracer,
     metrics: hs_obs::MetricsRegistry,
@@ -345,6 +381,13 @@ impl ClusterSim {
             aborted_flows: 0,
             flow_retries: 0,
             reroute_secs: Vec::new(),
+            kv_transfers: 0,
+            kv_stripes_launched: 0,
+            kv_retries: 0,
+            kv_deferrals: 0,
+            kv_bytes_total: 0,
+            kv_transfer_secs: Vec::new(),
+            kv_est_err_secs: Vec::new(),
             tracer: hs_obs::Tracer::noop(),
             metrics: hs_obs::MetricsRegistry::disabled(),
             obs: ObsIds::register(&hs_obs::MetricsRegistry::disabled()),
@@ -533,9 +576,10 @@ impl ClusterSim {
         if aborted.is_empty() {
             return;
         }
-        // Keyed in collective-id order: the loop below pushes retry events,
-        // so visit order feeds straight into the event queue.
+        // Keyed in collective-/request-id order: the loops below push retry
+        // events, so visit order feeds straight into the event queue.
         let mut dead_colls: BTreeMap<u64, Vec<FlowId>> = BTreeMap::new();
+        let mut dead_kv: BTreeMap<u64, Vec<FlowId>> = BTreeMap::new();
         for (id, flow) in &aborted {
             self.aborted_flows += 1;
             match flow.tag >> TAG_KIND_SHIFT {
@@ -543,16 +587,34 @@ impl ClusterSim {
                     .entry(flow.tag & TAG_ID_MASK)
                     .or_default()
                     .push(*id),
-                2 => {
-                    let rid = flow.tag & TAG_ID_MASK;
-                    if let Some(f) = self.kv_inflight.get_mut(&rid) {
-                        f.aborted_at = self.now;
-                        self.events
-                            .push(self.now + retry_delay(f.attempt), Ev::RetryKv { req: rid });
-                    }
-                }
+                2 => dead_kv.entry(flow.tag & TAG_ID_MASK).or_default().push(*id),
                 _ => {} // background cross traffic: no retry semantics
             }
+        }
+        for (rid, gone) in dead_kv {
+            let Some(f) = self.kv_inflight.get_mut(&rid) else {
+                continue;
+            };
+            f.live.retain(|fid| !gone.contains(fid));
+            if f.retry_pending {
+                // Another stripe of the same shipment already scheduled the
+                // relaunch this instant; one backoff covers them all.
+                continue;
+            }
+            f.retry_pending = true;
+            f.aborted_at = self.now;
+            let attempt = f.attempt;
+            // Cancel the surviving stripes: a partial shipment is useless,
+            // the relaunch resends everything from the true source.
+            let survivors = std::mem::take(&mut f.live);
+            for fid in survivors {
+                // A drained-but-undelivered flow returns None here; its
+                // completion still arrives and is ignored (retry_pending).
+                self.net.cancel_flow(self.now, fid);
+            }
+            self.tracer.kv_retry(self.now, rid, attempt + 1, gone.len());
+            self.events
+                .push(self.now + retry_delay(attempt), Ev::RetryKv { req: rid });
         }
         for (coll, gone) in dead_colls {
             let Some(mut state) = self.colls.remove(&coll) else {
@@ -626,27 +688,59 @@ impl ClusterSim {
         }
     }
 
+    /// Relaunch an aborted KV shipment: every stripe restarts from the
+    /// request's *original* prefill GPUs (the stripe plan is immutable),
+    /// with per-stripe routes re-chosen so the strategy can steer around
+    /// the fault.
     fn retry_kv(&mut self, req: u64) {
         let Some(f) = self.kv_inflight.get_mut(&req) else {
             return;
         };
+        if !f.retry_pending {
+            // Stale retry event (e.g. the shipment already completed via a
+            // later relaunch at the same timestamp).
+            return;
+        }
         f.attempt += 1;
-        let (src, dst, bytes, aborted_at) = (f.src, f.dst, f.bytes, f.aborted_at);
+        f.retry_pending = false;
+        let (stripes, aborted_at) = (f.stripes.clone(), f.aborted_at);
         self.flow_retries += 1;
-        let links = self
-            .strategy
-            .choose_path(src, dst, bytes, &self.util_snapshot)
-            .unwrap_or_else(|| self.ap.path(src, dst).directed_links(&self.g));
-        if links.is_empty() {
+        self.kv_retries += 1;
+        self.metrics.inc(self.obs.kv_retries, 1);
+        let mut live = Vec::with_capacity(stripes.len());
+        let mut all_alive = true;
+        for st in &stripes {
+            let links = self
+                .strategy
+                .choose_path(st.src, st.dst, st.bytes, &self.util_snapshot)
+                .unwrap_or_else(|| self.ap.path(st.src, st.dst).directed_links(&self.g));
+            if links.is_empty() {
+                continue;
+            }
+            if links.iter().any(|&(l, _)| self.net.link_scale(l) <= 0.0) {
+                all_alive = false;
+            }
+            live.push(
+                self.net
+                    .start_flow(self.now, &links, st.bytes, TAG_KV | req),
+            );
+        }
+        self.kv_stripes_launched += live.len() as u64;
+        if live.is_empty() {
+            // Every stripe degenerated (e.g. all routes collapsed to
+            // same-node): the shipment is over.
             self.kv_done(RequestId(req));
             return;
         }
-        if links.iter().all(|&(l, _)| self.net.link_scale(l) > 0.0) {
+        if all_alive {
             let delay = self.now.saturating_since(aborted_at).as_secs_f64();
             self.reroute_secs.push(delay);
             self.tracer.reroute(self.now, req, delay);
         }
-        self.net.start_flow(self.now, &links, bytes, TAG_KV | req);
+        self.kv_inflight
+            .get_mut(&req)
+            .expect("flight still inflight after relaunch")
+            .live = live;
     }
 
     /// Worst GPU-stall slowdown across an instance's GPUs (1.0 healthy).
@@ -1066,8 +1160,11 @@ impl ClusterSim {
                     let r = &mut self.reqs[id.0 as usize];
                     r.prefill_done = Some(self.now);
                     r.phase = ReqPhase::AwaitingAdmission;
+                    // The KV cache lives on this instance's GPUs from now
+                    // on — every (re)transfer must ship from here.
+                    r.prefill_instance = Some(inst);
                     self.tracer.request_phase_end(self.now, id.0, "prefill");
-                    self.try_admit(id, inst);
+                    self.try_admit(id);
                 }
                 self.kick_prefill();
             }
@@ -1119,75 +1216,194 @@ impl ClusterSim {
     // Admission + KV transfer
     // ------------------------------------------------------------------
 
-    fn try_admit(&mut self, id: RequestId, prefill_inst: usize) {
+    /// Try to admit `id` to a decode instance; a refused request joins the
+    /// pending-admission queue (and counts one deferral — retry passes
+    /// re-use [`admit_request`] directly and don't re-count).
+    fn try_admit(&mut self, id: RequestId) {
+        if !self.admit_request(id) {
+            self.kv_deferrals += 1;
+            self.metrics.inc(self.obs.kv_deferrals, 1);
+            self.pending_admission.push_back(id);
+        }
+    }
+
+    /// Pick a decode instance and launch the striped KV transfer. Returns
+    /// `false` when no instance can take the request right now.
+    fn admit_request(&mut self, id: RequestId) -> bool {
         let need = self.reqs[id.0 as usize].reserved_kv_tokens();
-        // Least-loaded decode instance with room.
-        let mut best: Option<usize> = None;
-        for d in 0..self.kv.len() {
-            if self.kv[d].can_admit(need) {
-                let load = self.instances[self.decode_offset + d].decode_load();
-                if best
-                    .map(|b| load < self.instances[self.decode_offset + b].decode_load())
-                    .unwrap_or(true)
-                {
-                    best = Some(d);
+        // Candidates in ascending decode-pool order (deterministic).
+        let eligible: Vec<usize> = (0..self.kv.len())
+            .filter(|&d| self.kv[d].can_admit(need))
+            .collect();
+        if eligible.is_empty() {
+            return false;
+        }
+        let prefill_inst = self.reqs[id.0 as usize]
+            .prefill_instance
+            .expect("admission before prefill completion");
+        let input_tokens = self.reqs[id.0 as usize].req.input_tokens as u64;
+        let bytes = input_tokens * self.cfg.model.kv_bytes_per_token();
+        let src_gpus = self.instances[prefill_inst].spec.all_gpus();
+        let least_loaded = |sim: &Self| -> usize {
+            eligible
+                .iter()
+                .copied()
+                .min_by_key(|&d| sim.instances[sim.decode_offset + d].decode_load())
+                .expect("eligible is non-empty")
+        };
+        // Decode-instance selection: network-aware strategies score the
+        // candidates (NetKV-style); everyone else takes least-loaded.
+        let (d, est_s) = if self.strategy.network_aware_admission() {
+            let candidates: Vec<KvCandidate> = eligible
+                .iter()
+                .map(|&d| KvCandidate {
+                    instance: d,
+                    load: self.instances[self.decode_offset + d].decode_load(),
+                    headroom_tokens: self.kv[d].headroom(),
+                    capacity_tokens: self.kv[d].capacity(),
+                    dst_gpus: self.instances[self.decode_offset + d].spec.all_gpus(),
+                })
+                .collect();
+            let ctx = KvCtx {
+                req: id.0,
+                bytes,
+                src_gpus: &src_gpus,
+                link_util: &self.util_snapshot,
+                now: self.now,
+            };
+            match self.strategy.choose_decode(&ctx, &candidates) {
+                // A choice outside the candidate set falls through to
+                // least-loaded — the strategy can never over-admit.
+                Some(c) if eligible.contains(&c.instance) => (c.instance, c.est_transfer_s),
+                _ => {
+                    let d = least_loaded(self);
+                    let est = self.idle_kv_estimate(&src_gpus, d, bytes);
+                    (d, est)
                 }
             }
-        }
-        let Some(d) = best else {
-            self.pending_admission.push_back(id);
-            return;
+        } else {
+            let d = least_loaded(self);
+            let est = self.idle_kv_estimate(&src_gpus, d, bytes);
+            (d, est)
         };
-        assert!(self.kv[d].admit(need));
+        // Selection and reservation are decoupled, so re-validate instead
+        // of asserting: a refused reservation defers the request rather
+        // than killing the run.
+        if !self.kv[d].admit(need) {
+            self.tracer.warning(
+                self.now,
+                format!("kv admit race: instance {d} refused request {}", id.0),
+            );
+            return false;
+        }
         let r = &mut self.reqs[id.0 as usize];
         r.decode_instance = Some(self.decode_offset + d);
         r.phase = ReqPhase::TransferringKv;
         self.tracer
             .request_phase_begin(self.now, id.0, "kv_transfer");
-        let input_tokens = r.req.input_tokens as u64;
         self.kv[d].materialize(input_tokens);
-        // KV transfer: one flow from a prefill GPU to a decode GPU
-        // (pairs rotate with the request id so traffic spreads over the
-        // cross-connected ports, Eq. 15's parallel pair transfers).
-        let src_gpus = self.instances[prefill_inst].spec.all_gpus();
+        // Stripe the shipment across the Eq. 15 parallel TP pairs: one
+        // flow per src/dst GPU pair, done when the slowest stripe drains.
         let dst_gpus = self.instances[self.decode_offset + d].spec.all_gpus();
-        let src = src_gpus[id.0 as usize % src_gpus.len()];
-        let dst = dst_gpus[id.0 as usize % dst_gpus.len()];
-        let bytes = input_tokens * self.cfg.model.kv_bytes_per_token();
-        // The strategy may route the transfer (HeroServe's path policy);
-        // otherwise take the static shortest path.
-        let links = self
-            .strategy
-            .choose_path(src, dst, bytes, &self.util_snapshot)
-            .unwrap_or_else(|| self.ap.path(src, dst).directed_links(&self.g));
-        if links.is_empty() || bytes == 0 {
-            self.kv_done(id);
-        } else {
-            self.kv_inflight.insert(
-                id.0,
-                KvFlight {
-                    src,
-                    dst,
-                    bytes,
-                    attempt: 0,
-                    aborted_at: SimTime::ZERO,
-                },
+        let stripes = stripe_plan(&src_gpus, &dst_gpus, bytes);
+        let mut live = Vec::with_capacity(stripes.len());
+        for st in &stripes {
+            // The strategy may route each stripe (HeroServe's path
+            // policy); otherwise take the static shortest path.
+            let links = self
+                .strategy
+                .choose_path(st.src, st.dst, st.bytes, &self.util_snapshot)
+                .unwrap_or_else(|| self.ap.path(st.src, st.dst).directed_links(&self.g));
+            if links.is_empty() {
+                continue;
+            }
+            live.push(
+                self.net
+                    .start_flow(self.now, &links, st.bytes, TAG_KV | id.0),
             );
-            self.net.start_flow(self.now, &links, bytes, TAG_KV | id.0);
         }
+        self.kv_transfers += 1;
+        self.kv_stripes_launched += live.len() as u64;
+        self.kv_bytes_total += bytes;
+        self.metrics.inc(self.obs.kv_transfers, 1);
+        self.tracer.kv_transfer_begin(
+            self.now,
+            id.0,
+            prefill_inst as u64,
+            (self.decode_offset + d) as u64,
+            bytes,
+            live.len(),
+            est_s,
+        );
+        let instantly_done = live.is_empty();
+        self.kv_inflight.insert(
+            id.0,
+            KvFlight {
+                stripes,
+                live,
+                attempt: 0,
+                started: self.now,
+                aborted_at: SimTime::ZERO,
+                retry_pending: false,
+                est_s,
+            },
+        );
+        if instantly_done {
+            // Zero-byte shipment or co-located prefill/decode: nothing to
+            // move over the fabric.
+            self.kv_done(id);
+        }
+        true
     }
 
+    /// Idle-fabric transfer-time estimate for the engine's own least-
+    /// loaded pick: the slowest Eq. 15 stripe over uncontended links.
+    /// Network-aware strategies supply their own utilization-adjusted
+    /// estimate through [`KvChoice`](crate::strategy::KvChoice).
+    fn idle_kv_estimate(&self, src_gpus: &[NodeId], d: usize, bytes: u64) -> f64 {
+        let dst_gpus = self.instances[self.decode_offset + d].spec.all_gpus();
+        stripe_plan(src_gpus, &dst_gpus, bytes)
+            .iter()
+            .filter(|st| self.ap.covers(st.src) && self.ap.covers(st.dst))
+            .map(|st| path_transfer_secs(&self.g, self.ap.path(st.src, st.dst), st.bytes, None))
+            .fold(0.0, f64::max)
+    }
+
+    /// Offer freed decode capacity back to the deferred-admission queue
+    /// with head-of-line semantics and a bounded reorder window: the head
+    /// keeps first claim on released memory, but up to
+    /// [`ADMIT_REORDER_WINDOW`] blocked requests may be stepped over so a
+    /// single huge request cannot idle capacity that smaller ones behind
+    /// it could use. Blocked heads return to the front in their original
+    /// order, so a large request's queue position — and its claim on the
+    /// next release — is preserved (no starvation).
     fn retry_admissions(&mut self) {
-        let pending: Vec<RequestId> = self.pending_admission.drain(..).collect();
-        for id in pending {
-            // Re-admit from the original prefill side; the prefill
-            // instance no longer matters for pairing, use instance 0.
-            self.try_admit(id, 0);
+        /// Max blocked requests a retry pass may step over.
+        const ADMIT_REORDER_WINDOW: usize = 4;
+        let mut blocked: Vec<RequestId> = Vec::new();
+        while let Some(id) = self.pending_admission.pop_front() {
+            if blocked.len() >= ADMIT_REORDER_WINDOW {
+                self.pending_admission.push_front(id);
+                break;
+            }
+            if !self.admit_request(id) {
+                blocked.push(id);
+            }
+        }
+        for id in blocked.into_iter().rev() {
+            self.pending_admission.push_front(id);
         }
     }
 
     fn kv_done(&mut self, id: RequestId) {
-        self.kv_inflight.remove(&id.0);
+        if let Some(f) = self.kv_inflight.remove(&id.0) {
+            let actual = self.now.saturating_since(f.started).as_secs_f64();
+            self.kv_transfer_secs.push(actual);
+            self.kv_est_err_secs.push((f.est_s - actual).abs());
+            self.metrics.observe(self.obs.kv_transfer_s, actual);
+            self.tracer
+                .kv_transfer_end(self.now, id.0, actual, f.est_s, f.attempt);
+        }
         let r = &mut self.reqs[id.0 as usize];
         r.phase = ReqPhase::Decoding;
         r.decode_start = Some(self.now);
@@ -1245,8 +1461,25 @@ impl ClusterSim {
                 self.advance_coll(coll, progress);
             }
             2 => {
-                let rid = RequestId(tag & TAG_ID_MASK);
-                self.kv_done(rid);
+                let rid = tag & TAG_ID_MASK;
+                let Some(f) = self.kv_inflight.get_mut(&rid) else {
+                    // Already completed (e.g. a duplicate completion after
+                    // a same-instant relaunch): nothing to do.
+                    return;
+                };
+                if f.retry_pending {
+                    // A cancelled-but-drained stripe's completion arriving
+                    // after the abort; the pending relaunch supersedes it.
+                    return;
+                }
+                let Some(pos) = f.live.iter().position(|&fid| fid == id) else {
+                    // A stripe from a superseded launch generation.
+                    return;
+                };
+                f.live.swap_remove(pos);
+                if f.live.is_empty() {
+                    self.kv_done(RequestId(rid));
+                }
             }
             _ => {} // background / foreign flows
         }
@@ -1290,6 +1523,14 @@ impl ClusterSim {
             aborted_flows: self.aborted_flows,
             flow_retries: self.flow_retries,
             mean_reroute_s: hs_workload::mean(&self.reroute_secs),
+            kv_transfers: self.kv_transfers,
+            kv_stripes: self.kv_stripes_launched,
+            kv_retries: self.kv_retries,
+            kv_deferrals: self.kv_deferrals,
+            kv_bytes: self.kv_bytes_total as f64,
+            mean_kv_transfer_s: hs_workload::mean(&self.kv_transfer_secs),
+            p90_kv_transfer_s: hs_workload::stats::percentile(&self.kv_transfer_secs, 90.0),
+            mean_kv_est_err_s: hs_workload::mean(&self.kv_est_err_secs),
             ..SimReport::default()
         };
         for (lid, link) in self.g.links() {
@@ -1361,11 +1602,21 @@ mod tests {
         (report, n)
     }
 
-    fn build_sim(
+    pub(super) fn build_sim(
         rate: f64,
         horizon_s: u64,
         scheme: Scheme,
         faults: FaultPlan,
+    ) -> (ClusterSim, usize) {
+        let strategy = StaticStrategy::uniform("test", scheme, BusyPolicy::FallbackRing);
+        build_sim_with_strategy(rate, horizon_s, faults, Box::new(strategy))
+    }
+
+    fn build_sim_with_strategy(
+        rate: f64,
+        horizon_s: u64,
+        faults: FaultPlan,
+        strategy: Box<dyn CommStrategy>,
     ) -> (ClusterSim, usize) {
         let t = testbed();
         let model = ModelConfig::opt_13b();
@@ -1398,8 +1649,7 @@ mod tests {
             SimTime::from_secs(horizon_s),
         );
         let n = trace.len();
-        let strategy = StaticStrategy::uniform("test", scheme, BusyPolicy::FallbackRing);
-        let sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        let sim = ClusterSim::new(&t.graph, ap, cfg, &trace, strategy);
         (sim, n)
     }
 
@@ -1418,6 +1668,17 @@ mod tests {
         assert_eq!(report.ina_ops, 0);
         assert!(report.ring_ops > 0);
         assert!(report.eth_bytes > 0.0);
+        // KV accounting: one shipment per request, striped across the 4
+        // TP4→TP4 pairs (Eq. 15), no retries on a healthy fabric.
+        assert_eq!(report.kv_transfers as usize, report.completed);
+        assert_eq!(report.kv_stripes, 4 * report.kv_transfers);
+        assert_eq!(report.kv_retries, 0);
+        assert!(report.kv_bytes > 0.0);
+        assert!(report.mean_kv_transfer_s > 0.0);
+        assert!(report.p90_kv_transfer_s >= report.mean_kv_transfer_s * 0.5);
+        // e2e TTFT = prefill TTFT + admission wait + KV transfer.
+        assert!(report.mean_ttft_e2e_s >= report.mean_ttft_s);
+        assert!(report.mean_ttft_e2e_s <= report.mean_ttft_s + 1.0);
     }
 
     #[test]
@@ -1503,20 +1764,60 @@ mod tests {
     #[test]
     fn link_outage_aborts_and_retries_kv_transfers() {
         let t = testbed();
-        // Kill every uplink of the prefill server (server 0) for 3 s so
-        // in-flight KV transfers to the decode server abort.
+        // Pulse the prefill server's uplinks down for 50 ms once a second
+        // between t=1 s and t=10 s. Each KV shipment below (32k tokens,
+        // ~1 s even striped across both uplinks) is longer than the pulse
+        // period, so any in-flight shipment provably spans a pulse instant
+        // and its stripes abort; once the pulses stop, retries drain.
         let mut faults = FaultPlan::none();
         for &gpu in &t.gpus_by_server[0] {
             for &(nb, l) in t.graph.neighbors(gpu) {
                 if t.access_switches.contains(&nb) {
-                    faults.push(SimTime::from_secs(6), FaultKind::LinkDown { link: l });
-                    faults.push(SimTime::from_secs(9), FaultKind::LinkUp { link: l });
+                    for k in 1..=10u64 {
+                        faults.push(SimTime::from_secs(k), FaultKind::LinkDown { link: l });
+                        faults.push(
+                            SimTime::from_millis(k * 1000 + 50),
+                            FaultKind::LinkUp { link: l },
+                        );
+                    }
                 }
             }
         }
-        let (rep, _) = small_setup_with_faults(4.0, 15, Scheme::Ring, faults);
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 30.0,
+            tpot_sla_s: 0.15,
+            prefill: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone())],
+            decode: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone())],
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+            faults,
+        };
+        let trace = Trace {
+            requests: (0..3)
+                .map(|i| hs_workload::Request {
+                    id: RequestId(i),
+                    arrival: SimTime::from_millis(i * 500),
+                    input_tokens: 32_768,
+                    output_tokens: 4,
+                })
+                .collect(),
+        };
+        let strategy = StaticStrategy::uniform("test", Scheme::Ring, BusyPolicy::FallbackRing);
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        let rep = sim.run(SimTime::from_secs(60));
         assert!(rep.aborted_flows > 0, "no flows aborted");
         assert!(rep.flow_retries > 0, "aborted work was not retried");
+        assert!(rep.kv_retries > 0, "no KV shipment was relaunched");
         assert_eq!(rep.completed, rep.arrived, "requests stuck after recovery");
     }
 
@@ -1579,6 +1880,7 @@ mod tests {
             "queued",
             "prefill",
             "kv_transfer",
+            "kv_flow",
             "decode",
             "done",
             "allreduce",
@@ -1646,10 +1948,20 @@ mod tests {
             ("mean_reroute_s", rep.mean_reroute_s),
             ("eth_bytes", rep.eth_bytes),
             ("nvlink_bytes", rep.nvlink_bytes),
+            ("kv_bytes", rep.kv_bytes),
+            ("mean_kv_transfer_s", rep.mean_kv_transfer_s),
+            ("p90_kv_transfer_s", rep.p90_kv_transfer_s),
+            ("mean_kv_est_err_s", rep.mean_kv_est_err_s),
+            ("mean_ttft_e2e_s", rep.mean_ttft_e2e_s),
+            ("p90_ttft_e2e_s", rep.p90_ttft_e2e_s),
         ] {
             assert!(v.is_finite(), "{name} is not finite: {v}");
             assert_eq!(v, 0.0, "{name} should be zero on an empty run");
         }
+        assert_eq!(rep.kv_transfers, 0);
+        assert_eq!(rep.kv_stripes, 0);
+        assert_eq!(rep.kv_retries, 0);
+        assert_eq!(rep.kv_deferrals, 0);
     }
 
     #[test]
@@ -1659,5 +1971,290 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.mean_ttft_s, b.mean_ttft_s);
         assert_eq!(a.eth_bytes, b.eth_bytes);
+    }
+
+    /// Regression for the wrong-source retransfer bug: a request whose
+    /// admission was deferred (decode memory full) must, once retried,
+    /// ship its KV cache from the prefill instance that actually ran it —
+    /// not "instance 0", which is what `retry_admissions` used to pass.
+    ///
+    /// Setup: two prefill instances on different servers (0 and 2), one
+    /// decode instance on server 1 whose KV capacity fits exactly one
+    /// request. Request 1 prefills on instance 1 (server 2) and is
+    /// deferred until request 0 finishes decoding. On the old code path
+    /// its retried KV transfer left server 0; server 2's Ethernet uplinks
+    /// carried zero KV bytes and this test fails.
+    #[test]
+    fn deferred_admission_resends_kv_from_true_prefill_instance() {
+        let t = testbed();
+        let model = ModelConfig::opt_13b();
+        let kv_bytes = 256 * model.kv_bytes_per_token();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 2.5,
+            tpot_sla_s: 0.15,
+            prefill: vec![
+                InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone()),
+                InstanceSpec::tensor_parallel(t.gpus_by_server[2].clone()),
+            ],
+            decode: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone())],
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+            faults: FaultPlan::none(),
+        };
+        // Two staggered arrivals: req 0 grabs prefill instance 0, req 1
+        // lands on instance 1 while 0 is still computing.
+        let trace = Trace {
+            requests: vec![
+                hs_workload::Request {
+                    id: RequestId(0),
+                    arrival: SimTime::ZERO,
+                    input_tokens: 256,
+                    output_tokens: 16,
+                },
+                hs_workload::Request {
+                    id: RequestId(1),
+                    arrival: SimTime::from_millis(5),
+                    input_tokens: 256,
+                    output_tokens: 16,
+                },
+            ],
+        };
+        let strategy = StaticStrategy::uniform("test", Scheme::Ring, BusyPolicy::FallbackRing);
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        // Shrink the decode instance to one request's footprint (272
+        // reserved tokens) so request 1's admission must defer.
+        sim.kv[0] = KvManager::new(300);
+        let tracer = hs_obs::Tracer::recording();
+        let metrics = hs_obs::MetricsRegistry::disabled();
+        sim.set_obs(&tracer, &metrics);
+        let rep = sim.run(SimTime::from_secs(60));
+        assert_eq!(rep.completed, 2, "both requests must finish");
+        assert!(rep.kv_deferrals >= 1, "request 1 was never deferred");
+        assert_eq!(sim.requests()[0].prefill_instance, Some(0));
+        assert_eq!(sim.requests()[1].prefill_instance, Some(1));
+        // The trace records the shipment source per request.
+        let recs = tracer.records();
+        let src_of = |req: u64| -> u64 {
+            recs.iter()
+                .find(|r| r.name == "kv_flow" && r.ph == hs_obs::Ph::Begin && r.tid == req)
+                .and_then(|r| r.arg("src_instance"))
+                .and_then(hs_obs::Val::as_f64)
+                .expect("kv_flow begin recorded") as u64
+        };
+        assert_eq!(src_of(0), 0);
+        assert_eq!(
+            src_of(1),
+            1,
+            "deferred request retransferred from the wrong prefill instance"
+        );
+        // And the fabric agrees: server 2's Ethernet uplinks carried
+        // request 1's full KV shipment (collectives of a single-server TP
+        // group stay on NVLink, so KV is the only Ethernet user there).
+        let mut server2_uplink_bytes = 0.0;
+        for (lid, link) in sim.g.links() {
+            if link.kind != LinkKind::Ethernet {
+                continue;
+            }
+            let touches_server2 =
+                t.gpus_by_server[2].contains(&link.a) || t.gpus_by_server[2].contains(&link.b);
+            if touches_server2 {
+                server2_uplink_bytes += sim.net.cumulative_bytes(lid);
+            }
+        }
+        assert!(
+            (server2_uplink_bytes - kv_bytes as f64).abs() < 1.0,
+            "server 2 uplinks carried {server2_uplink_bytes} bytes, want {kv_bytes}"
+        );
+    }
+
+    /// `retry_admissions` head-of-line semantics with a bounded reorder
+    /// window: blocked heads are stepped over (so small requests behind a
+    /// huge one aren't starved of released memory), but at most
+    /// ADMIT_REORDER_WINDOW of them — and they keep their queue order.
+    #[test]
+    fn admission_retry_is_head_of_line_with_bounded_reorder() {
+        let mk = |shape: &[(u32, u32)]| -> ClusterSim {
+            let t = testbed();
+            let model = ModelConfig::opt_13b();
+            let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+            let mut nodes = t.all_gpus();
+            nodes.extend(&t.access_switches);
+            let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+            let cfg = ClusterConfig {
+                model,
+                coef: fitted.coefficients,
+                ttft_sla_s: 2.5,
+                tpot_sla_s: 0.15,
+                prefill: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone())],
+                decode: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone())],
+                batch: BatchPolicy::default(),
+                gpu_memory_bytes: 40 * (1 << 30),
+                monitor_period: SimSpan::from_millis(100),
+                ina_capacity_per_switch: 4,
+                background: None,
+                faults: FaultPlan::none(),
+            };
+            // Arrivals far beyond anything we step; the test drives
+            // `retry_admissions` directly.
+            let trace = Trace {
+                requests: shape
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(inp, out))| hs_workload::Request {
+                        id: RequestId(i as u64),
+                        arrival: SimTime::from_secs(1_000),
+                        input_tokens: inp,
+                        output_tokens: out,
+                    })
+                    .collect(),
+            };
+            let strategy = StaticStrategy::uniform("test", Scheme::Ring, BusyPolicy::FallbackRing);
+            let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+            sim.kv[0] = KvManager::new(140);
+            for i in 0..shape.len() {
+                sim.reqs[i].phase = ReqPhase::AwaitingAdmission;
+                sim.reqs[i].prefill_done = Some(SimTime::ZERO);
+                sim.reqs[i].prefill_instance = Some(0);
+                sim.pending_admission.push_back(RequestId(i as u64));
+            }
+            sim
+        };
+
+        // A huge head (200 tokens reserved > 140 capacity) must not block
+        // the small requests behind it; blocked requests return to the
+        // front in order.
+        let big = (150, 50); // 200 reserved — never fits
+        let small = (30, 10); // 40 reserved
+        let mut sim = mk(&[big, small, small, small, small, small]);
+        sim.retry_admissions();
+        // Smalls 1..=3 fill the 140-token instance; 4 and 5 block.
+        for i in 1..=3 {
+            assert_eq!(sim.reqs[i].phase, ReqPhase::TransferringKv, "req {i}");
+        }
+        assert_eq!(sim.reqs[0].phase, ReqPhase::AwaitingAdmission);
+        let order: Vec<u64> = sim.pending_admission.iter().map(|id| id.0).collect();
+        assert_eq!(order, vec![0, 4, 5], "blocked heads keep queue order");
+
+        // Window bound: after 4 blocked requests the pass stops — a
+        // fitting request beyond the window stays queued until the next
+        // release instead of jumping arbitrarily far forward.
+        let mut sim = mk(&[big, big, big, big, big, small]);
+        sim.retry_admissions();
+        let order: Vec<u64> = sim.pending_admission.iter().map(|id| id.0).collect();
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 3, 4, 5],
+            "pass must stop at the window"
+        );
+        assert_eq!(sim.reqs[5].phase, ReqPhase::AwaitingAdmission);
+    }
+
+    /// A network-aware strategy returning a bogus candidate (out of range,
+    /// or an instance that cannot admit) must not panic or over-admit: the
+    /// engine falls back to its least-loaded pick.
+    #[test]
+    fn bogus_decode_choice_falls_back_to_least_loaded() {
+        struct Bogus;
+        impl CommStrategy for Bogus {
+            fn choose(&mut self, _ctx: &CommCtx<'_>) -> Scheme {
+                Scheme::Ring
+            }
+            fn network_aware_admission(&self) -> bool {
+                true
+            }
+            fn choose_decode(
+                &mut self,
+                _ctx: &KvCtx<'_>,
+                _candidates: &[KvCandidate],
+            ) -> Option<crate::strategy::KvChoice> {
+                Some(crate::strategy::KvChoice {
+                    instance: usize::MAX,
+                    est_transfer_s: -1.0,
+                })
+            }
+            fn name(&self) -> &str {
+                "bogus"
+            }
+        }
+        let (mut sim, n) = build_sim_with_strategy(1.0, 10, FaultPlan::none(), Box::new(Bogus));
+        let rep = sim.run(SimTime::from_secs(40));
+        assert!(n > 3);
+        assert_eq!(
+            rep.completed, rep.arrived,
+            "bogus choice must not strand work"
+        );
+        assert_eq!(rep.kv_transfers as usize, rep.completed);
+    }
+}
+
+#[cfg(test)]
+mod admission_proptests {
+    use super::tests::build_sim;
+    use super::*;
+    use hs_obs::Ph;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any admit/defer/retry/fault-abort interleaving the run
+        /// drains to zero reserved and live KV tokens on every decode
+        /// instance, and the tracer's kv_transfer begin/end spans (and
+        /// kv_flow begin/end records) always pair.
+        #[test]
+        fn kv_accounting_balances_and_trace_spans_pair(
+            rate_x10 in 5u32..25,
+            horizon_s in 4u64..7,
+            fault_sel in 0u32..2,
+        ) {
+            let with_fault = fault_sel == 1;
+            let t = hs_topology::builders::testbed();
+            let mut faults = FaultPlan::none();
+            if with_fault {
+                // Kill the prefill server's uplinks mid-run, then recover:
+                // in-flight KV stripes abort and relaunch.
+                for &gpu in &t.gpus_by_server[0] {
+                    for &(nb, l) in t.graph.neighbors(gpu) {
+                        if t.access_switches.contains(&nb) {
+                            faults.push(SimTime::from_secs(2), FaultKind::LinkDown { link: l });
+                            faults.push(SimTime::from_secs(4), FaultKind::LinkUp { link: l });
+                        }
+                    }
+                }
+            }
+            let (mut sim, _) =
+                build_sim(rate_x10 as f64 / 10.0, horizon_s, Scheme::Ring, faults);
+            let tracer = hs_obs::Tracer::recording();
+            let metrics = hs_obs::MetricsRegistry::disabled();
+            sim.set_obs(&tracer, &metrics);
+            let rep = sim.run(SimTime::from_secs(horizon_s + 60));
+            prop_assert_eq!(rep.completed, rep.arrived, "run failed to drain");
+            for (i, m) in sim.kv_managers().iter().enumerate() {
+                prop_assert_eq!(m.reserved(), 0, "instance {} leaked reservations", i);
+                prop_assert_eq!(m.live(), 0, "instance {} leaked live tokens", i);
+            }
+            let recs = tracer.records();
+            for r in sim.requests() {
+                let count = |name: &str, ph: Ph| {
+                    recs.iter()
+                        .filter(|rec| rec.name == name && rec.ph == ph && rec.tid == r.req.id.0)
+                        .count()
+                };
+                let pb = count("kv_transfer", Ph::Begin);
+                let pe = count("kv_transfer", Ph::End);
+                prop_assert_eq!(pb, pe, "kv_transfer span unbalanced for {}", r.req.id.0);
+                prop_assert!(pb <= 1, "kv_transfer began twice for {}", r.req.id.0);
+                let fb = count("kv_flow", Ph::Begin);
+                let fe = count("kv_flow", Ph::End);
+                prop_assert_eq!(fb, fe, "kv_flow record unbalanced for {}", r.req.id.0);
+            }
+        }
     }
 }

@@ -55,6 +55,12 @@ impl KvManager {
         self.reserved_tokens + tokens <= self.capacity_tokens
     }
 
+    /// Unreserved tokens remaining — the admission headroom the NetKV
+    /// decode-selection score weighs against transfer time and load.
+    pub fn headroom(&self) -> u64 {
+        self.capacity_tokens.saturating_sub(self.reserved_tokens)
+    }
+
     /// Reserve `tokens` (admission). Returns false and counts a rejection
     /// when capacity is insufficient.
     pub fn admit(&mut self, tokens: u64) -> bool {
@@ -117,9 +123,11 @@ mod tests {
     fn admit_until_full() {
         let mut m = KvManager::new(100);
         assert!(m.admit(60));
+        assert_eq!(m.headroom(), 40);
         assert!(!m.admit(50));
         assert!(m.admit(40));
         assert_eq!(m.reserved(), 100);
+        assert_eq!(m.headroom(), 0);
         assert_eq!(m.counters(), (2, 1));
     }
 

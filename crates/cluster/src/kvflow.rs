@@ -1,0 +1,107 @@
+//! KV-cache transfer geometry: Eq. 15 striping across parallel TP pairs.
+//!
+//! A prefill instance holds the KV cache sharded across its tensor-parallel
+//! ranks; the decode instance wants it sharded across *its* ranks. Eq. 15
+//! models the shipment as parallel point-to-point streams between rank
+//! pairs, so the effective bandwidth is the sum over pairs rather than one
+//! NIC's worth. This module computes the stripe plan — which GPU pair
+//! carries which share of the bytes — and the engine launches one simnet
+//! flow per stripe; the transfer completes when the *slowest* stripe
+//! drains.
+
+use hs_topology::NodeId;
+
+/// One rank-pair's share of a KV-cache shipment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvStripe {
+    /// Source GPU (a prefill-instance rank).
+    pub src: NodeId,
+    /// Destination GPU (a decode-instance rank).
+    pub dst: NodeId,
+    /// Bytes carried by this stripe.
+    pub bytes: u64,
+}
+
+/// Split `bytes` across the Eq. 15 parallel TP pairs.
+///
+/// With `s` source ranks and `d` destination ranks, `max(s, d)` stripes are
+/// formed, pairing rank `i % s` with rank `i % d` — every GPU on the wider
+/// side participates, and the narrower side fans in/out round-robin. Bytes
+/// split evenly with the remainder spread over the leading stripes.
+/// Stripes that would carry zero bytes, and `src == dst` self-pairs (an
+/// interleaved deployment can place prefill and decode shards on the same
+/// GPU), are dropped: neither puts traffic on the fabric.
+pub fn stripe_plan(src_gpus: &[NodeId], dst_gpus: &[NodeId], bytes: u64) -> Vec<KvStripe> {
+    if src_gpus.is_empty() || dst_gpus.is_empty() || bytes == 0 {
+        return Vec::new();
+    }
+    let n = src_gpus.len().max(dst_gpus.len()) as u64;
+    let base = bytes / n;
+    let rem = bytes % n;
+    (0..n)
+        .map(|i| KvStripe {
+            src: src_gpus[i as usize % src_gpus.len()],
+            dst: dst_gpus[i as usize % dst_gpus.len()],
+            bytes: base + u64::from(i < rem),
+        })
+        .filter(|s| s.bytes > 0 && s.src != s.dst)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn bytes_are_conserved_across_stripes() {
+        let src = nodes(&[0, 1, 2, 3]);
+        let dst = nodes(&[10, 11, 12, 13]);
+        let plan = stripe_plan(&src, &dst, 1_000_003);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), 1_000_003);
+        // Remainder lands on the leading stripes: shares differ by ≤ 1.
+        let min = plan.iter().map(|s| s.bytes).min().unwrap();
+        let max = plan.iter().map(|s| s.bytes).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn unequal_tp_widths_rotate_the_narrow_side() {
+        let src = nodes(&[0, 1]);
+        let dst = nodes(&[10, 11, 12, 13]);
+        let plan = stripe_plan(&src, &dst, 400);
+        assert_eq!(plan.len(), 4, "wider side sets the stripe count");
+        let pairs: Vec<(NodeId, NodeId)> = plan.iter().map(|s| (s.src, s.dst)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId(0), NodeId(10)),
+                (NodeId(1), NodeId(11)),
+                (NodeId(0), NodeId(12)),
+                (NodeId(1), NodeId(13)),
+            ]
+        );
+    }
+
+    #[test]
+    fn tiny_transfers_drop_zero_byte_stripes() {
+        let src = nodes(&[0, 1, 2, 3]);
+        let dst = nodes(&[10, 11, 12, 13]);
+        let plan = stripe_plan(&src, &dst, 3);
+        assert_eq!(plan.len(), 3, "only stripes with bytes survive");
+        assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_plans() {
+        assert!(stripe_plan(&[], &nodes(&[1]), 100).is_empty());
+        assert!(stripe_plan(&nodes(&[1]), &[], 100).is_empty());
+        assert!(stripe_plan(&nodes(&[1]), &nodes(&[2]), 0).is_empty());
+        // Self-pairs (co-located prefill/decode shards) carry no traffic.
+        assert!(stripe_plan(&nodes(&[5]), &nodes(&[5]), 100).is_empty());
+    }
+}

@@ -27,6 +27,7 @@ pub mod batching;
 pub mod engine;
 pub mod instance;
 pub mod kvcache;
+pub mod kvflow;
 pub mod metrics;
 pub mod request;
 pub mod strategy;
@@ -34,6 +35,9 @@ pub mod strategy;
 pub use engine::{ClusterConfig, ClusterSim};
 pub use instance::{InstanceKind, InstanceSpec};
 pub use kvcache::KvManager;
+pub use kvflow::{stripe_plan, KvStripe};
 pub use metrics::{ReqMetrics, SimReport};
 pub use request::{ReqPhase, ReqState};
-pub use strategy::{BusyPolicy, CommCtx, CommStrategy, StaticStrategy};
+pub use strategy::{
+    BusyPolicy, CommCtx, CommStrategy, KvCandidate, KvChoice, KvCtx, StaticStrategy,
+};

@@ -11,6 +11,9 @@ pub struct ReqMetrics {
     pub id: u64,
     /// TTFT in seconds (`None` when prefill never completed).
     pub ttft_s: Option<f64>,
+    /// End-to-end TTFT: arrival → decode start, *including* admission wait
+    /// and KV-cache transfer (`None` when decoding never started).
+    pub ttft_e2e_s: Option<f64>,
     /// TPOT in seconds (`None` when decoding never finished).
     pub tpot_s: Option<f64>,
     /// Whether the request completed fully.
@@ -80,6 +83,31 @@ pub struct SimReport {
     /// SLA attainment over requests arriving inside the fault window
     /// (`None` when the run had no fault plan or no evaluable requests).
     pub fault_window_attainment: Option<f64>,
+    /// KV shipments launched (one per admitted request).
+    pub kv_transfers: u64,
+    /// Simnet flows launched for KV stripes (Eq. 15 parallel TP pairs),
+    /// including relaunches after fault aborts.
+    pub kv_stripes: u64,
+    /// KV shipments relaunched after a fault aborted one of their stripes.
+    pub kv_retries: u64,
+    /// Admissions deferred for lack of decode KV capacity (first refusal
+    /// only; retry passes don't re-count).
+    pub kv_deferrals: u64,
+    /// Total KV-cache bytes shipped prefill→decode (Eq. 14 volume; counted
+    /// once per shipment, not re-counted on retry).
+    pub kv_bytes: f64,
+    /// Mean realized KV transfer time over completed shipments, seconds.
+    pub mean_kv_transfer_s: f64,
+    /// p90 realized KV transfer time, seconds.
+    pub p90_kv_transfer_s: f64,
+    /// Mean absolute error of the admission-time transfer estimate vs the
+    /// realized time, seconds (estimator audit).
+    pub mean_kv_est_err_s: f64,
+    /// Mean end-to-end TTFT (arrival → decode start) over completed
+    /// requests — the metric KV congestion moves.
+    pub mean_ttft_e2e_s: f64,
+    /// p90 end-to-end TTFT, seconds.
+    pub p90_ttft_e2e_s: f64,
 }
 
 /// SLA verdict for one request at `horizon`: `Some(true)` pass,
@@ -124,6 +152,7 @@ impl SimReport {
     pub fn summarize(&mut self, reqs: &[ReqState], ttft_sla: f64, tpot_sla: f64, horizon: SimTime) {
         let mut evaluable = Vec::new();
         let mut ttfts = Vec::new();
+        let mut ttfts_e2e = Vec::new();
         let mut tpots = Vec::new();
         self.per_request.clear();
         self.arrived = reqs.len();
@@ -131,6 +160,7 @@ impl SimReport {
         for r in reqs {
             let completed = r.phase == ReqPhase::Done;
             let ttft = r.ttft_secs();
+            let ttft_e2e = r.ttft_e2e_secs();
             let tpot = r.tpot_secs();
             let verdict = sla_verdict(r, ttft_sla, tpot_sla, horizon);
             if let Some(ok) = verdict {
@@ -142,6 +172,9 @@ impl SimReport {
                 if let Some(t) = ttft {
                     ttfts.push(t);
                 }
+                if let Some(t) = ttft_e2e {
+                    ttfts_e2e.push(t);
+                }
                 if let Some(t) = tpot {
                     tpots.push(t);
                 }
@@ -149,6 +182,7 @@ impl SimReport {
             self.per_request.push(ReqMetrics {
                 id: r.req.id.0,
                 ttft_s: ttft,
+                ttft_e2e_s: ttft_e2e,
                 tpot_s: tpot,
                 completed,
                 sla_ok,
@@ -157,6 +191,8 @@ impl SimReport {
         self.sla_attainment = fraction_where(&evaluable, |x| x > 0.5);
         self.mean_ttft_s = mean(&ttfts);
         self.p90_ttft_s = percentile(&ttfts, 90.0);
+        self.mean_ttft_e2e_s = mean(&ttfts_e2e);
+        self.p90_ttft_e2e_s = percentile(&ttfts_e2e, 90.0);
         self.mean_tpot_s = mean(&tpots);
         self.p90_tpot_s = percentile(&tpots, 90.0);
         let secs = horizon.as_secs_f64();
@@ -231,6 +267,10 @@ mod tests {
         assert_eq!(rep.completed, 4);
         assert!((rep.sla_attainment - 0.5).abs() < 1e-9);
         assert!(rep.mean_ttft_s > 0.0);
+        // `finished()` starts decode right at prefill completion, so the
+        // end-to-end TTFT collapses onto the prefill TTFT here.
+        assert!((rep.mean_ttft_e2e_s - rep.mean_ttft_s).abs() < 1e-12);
+        assert!((rep.p90_ttft_e2e_s - rep.p90_ttft_s).abs() < 1e-12);
         assert!(rep.goodput_rps > 0.0);
     }
 

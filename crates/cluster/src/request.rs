@@ -37,6 +37,10 @@ pub struct ReqState {
     pub tokens_generated: u32,
     /// Decode instance index, once admitted.
     pub decode_instance: Option<usize>,
+    /// Instance that ran (or is running) this request's prefill. Recorded
+    /// when the prefill batch forms so a deferred admission retried later
+    /// still ships its KV cache from the GPUs that actually hold it.
+    pub prefill_instance: Option<usize>,
 }
 
 impl ReqState {
@@ -50,7 +54,17 @@ impl ReqState {
             finished: None,
             tokens_generated: 0,
             decode_instance: None,
+            prefill_instance: None,
         }
+    }
+
+    /// End-to-end time-to-first-token: arrival → decode start. Unlike
+    /// [`ttft_secs`](Self::ttft_secs) this *includes* the admission wait
+    /// and the KV-cache transfer, so it is the metric that moves when KV
+    /// traffic congests the prefill→decode fabric.
+    pub fn ttft_e2e_secs(&self) -> Option<f64> {
+        self.decode_start
+            .map(|t| t.saturating_since(self.req.arrival).as_secs_f64())
     }
 
     /// Time-to-first-token: arrival → prefill completion (the
@@ -111,7 +125,10 @@ mod tests {
         assert_eq!(s.ttft_secs(), None);
         s.prefill_done = Some(SimTime::from_secs(12));
         assert_eq!(s.ttft_secs(), Some(2.0));
+        assert_eq!(s.ttft_e2e_secs(), None);
         s.decode_start = Some(SimTime::from_secs(13));
+        // e2e TTFT folds in the admission wait + KV transfer second.
+        assert_eq!(s.ttft_e2e_secs(), Some(3.0));
         s.finished = Some(SimTime::from_secs(15));
         s.tokens_generated = 20;
         // TPOT counts from prefill completion (12 s): 3 s / 20 tokens,

@@ -44,6 +44,50 @@ pub struct CommCtx<'a> {
     pub link_util: &'a [f64],
 }
 
+/// One candidate decode instance offered to [`CommStrategy::choose_decode`].
+/// Candidates are presented in ascending decode-pool index order (a
+/// deterministic order — never hash order) and are pre-filtered to
+/// instances whose KV manager can admit the request.
+#[derive(Clone, Debug)]
+pub struct KvCandidate {
+    /// Index into the decode pool (engine-local, dense from 0).
+    pub instance: usize,
+    /// Current decode load: active + joining requests.
+    pub load: usize,
+    /// Unreserved KV tokens remaining on this instance.
+    pub headroom_tokens: u64,
+    /// Total KV token capacity of this instance.
+    pub capacity_tokens: u64,
+    /// The instance's GPUs — the stripe destinations if chosen.
+    pub dst_gpus: Vec<NodeId>,
+}
+
+/// Decision context for one decode-instance selection.
+#[derive(Clone, Copy, Debug)]
+pub struct KvCtx<'a> {
+    /// Request id being admitted.
+    pub req: u64,
+    /// Full KV-cache shipment size, bytes (Eq. 14).
+    pub bytes: u64,
+    /// The originating prefill instance's GPUs — the stripe sources.
+    pub src_gpus: &'a [NodeId],
+    /// Latest monitored per-link utilization (EWMA, `[0,1]`), indexed by
+    /// dense `LinkId`.
+    pub link_util: &'a [f64],
+    /// Simulation time.
+    pub now: SimTime,
+}
+
+/// A strategy's decode-instance pick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KvChoice {
+    /// Decode-pool index of the chosen instance (must name a candidate).
+    pub instance: usize,
+    /// The strategy's own estimate of the KV transfer time, seconds.
+    /// Recorded against the realized transfer time for estimator audit.
+    pub est_transfer_s: f64,
+}
+
 /// A communication scheduling policy.
 pub trait CommStrategy {
     /// Choose the scheme for one collective.
@@ -67,6 +111,24 @@ pub trait CommStrategy {
         _bytes: u64,
         _link_util: &[f64],
     ) -> Option<Vec<DirLink>> {
+        None
+    }
+
+    /// Whether the engine should build a [`KvCandidate`] list and consult
+    /// [`choose_decode`](Self::choose_decode) at admission time. Network-
+    /// oblivious strategies return `false` (the default) and skip the
+    /// candidate-construction cost entirely, keeping the least-loaded pick.
+    fn network_aware_admission(&self) -> bool {
+        false
+    }
+
+    /// Choose the decode instance for an admitted request — the NetKV-style
+    /// hook: score candidates by estimated KV transfer time over current
+    /// link utilization, KV headroom, and decode load. Returning `None`, or
+    /// an instance that is not among the candidates, falls back to the
+    /// engine's least-loaded pick; the engine re-validates capacity either
+    /// way, so a stale choice can never over-admit.
+    fn choose_decode(&mut self, _ctx: &KvCtx<'_>, _candidates: &[KvCandidate]) -> Option<KvChoice> {
         None
     }
 

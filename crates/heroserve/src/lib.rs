@@ -53,14 +53,15 @@ pub mod spec;
 pub mod system;
 
 pub use planner::{plan, PlannerError, PlannerOutput, SchemeSpace, SolveStats};
-pub use scheduler::HeroScheduler;
+pub use policy::KvSelectParams;
+pub use scheduler::{HeroScheduler, KvSelection, SchedulerParams};
 pub use spec::{ClusterPlan, GroupScheme, PlannerInput};
 pub use system::HeroServe;
 
 /// Convenient glob imports for examples and benches.
 pub mod prelude {
     pub use crate::planner::{plan, PlannerOutput, SchemeSpace};
-    pub use crate::scheduler::HeroScheduler;
+    pub use crate::scheduler::{HeroScheduler, KvSelection, SchedulerParams};
     pub use crate::spec::PlannerInput;
     pub use crate::system::HeroServe;
 }

@@ -129,6 +129,45 @@ pub fn build_policies(
     policies
 }
 
+/// Weights of the NetKV-style decode-selection score: how many seconds of
+/// estimated transfer time one unit of decode load / full KV-reservation
+/// pressure is worth. The defaults make the network term dominate until a
+/// candidate is several requests deeper or nearly out of KV headroom —
+/// i.e. the policy degrades to least-loaded on a homogeneous idle fabric
+/// and to nearest-instance under congestion.
+#[derive(Clone, Copy, Debug)]
+pub struct KvSelectParams {
+    /// Seconds added per request already decoding on the candidate
+    /// (a coarse queueing-delay proxy).
+    pub load_weight_s: f64,
+    /// Seconds added at 100 % KV reservation pressure (an almost-full
+    /// instance is about to start deferring admissions).
+    pub pressure_weight_s: f64,
+}
+
+impl Default for KvSelectParams {
+    fn default() -> Self {
+        KvSelectParams {
+            load_weight_s: 0.010,
+            pressure_weight_s: 0.050,
+        }
+    }
+}
+
+/// The NetKV decode-selection score (lower is better): estimated striped
+/// KV transfer time over residual bandwidth, plus load and KV-pressure
+/// penalties in transfer-time units.
+pub fn netkv_score(
+    est_transfer_s: f64,
+    load: usize,
+    reserved_frac: f64,
+    p: &KvSelectParams,
+) -> f64 {
+    est_transfer_s
+        + load as f64 * p.load_weight_s
+        + reserved_frac.clamp(0.0, 1.0) * p.pressure_weight_s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,8 +17,9 @@
 //!    links — the role of the central controller's synchronization, which
 //!    in this single-process simulation is exact.
 
-use crate::policy::{build_policies, Policy};
-use hs_cluster::{BusyPolicy, CommCtx, CommStrategy};
+use crate::netest::{available_bandwidth, kv_transfer_estimate};
+use crate::policy::{build_policies, netkv_score, KvSelectParams, Policy};
+use hs_cluster::{BusyPolicy, CommCtx, CommStrategy, KvCandidate, KvChoice, KvCtx};
 use hs_collective::Scheme;
 use hs_des::SimTime;
 use hs_topology::routing::k_shortest_paths_avoiding;
@@ -40,6 +41,23 @@ pub struct SchedulerParams {
     pub kappa: f64,
     /// How many nearest INA switches get candidate policies.
     pub k_switches: usize,
+    /// How the decode instance for a prefill→decode KV shipment is chosen.
+    pub kv_select: KvSelection,
+    /// Weights of the NetKV score (only read when `kv_select` is
+    /// [`KvSelection::NetKv`]).
+    pub kv_score: KvSelectParams,
+}
+
+/// Decode-instance selection policy for KV-cache shipments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvSelection {
+    /// The engine's default: fewest active decode requests (ties to the
+    /// lowest instance index). Network-oblivious.
+    LeastLoaded,
+    /// NetKV-style network-aware selection: score each admissible decode
+    /// instance by estimated striped KV transfer time over residual link
+    /// bandwidth, plus decode-load and KV-pressure penalties.
+    NetKv,
 }
 
 impl Default for SchedulerParams {
@@ -49,6 +67,8 @@ impl Default for SchedulerParams {
             gamma: 0.3,
             kappa: 0.5,
             k_switches: 2,
+            kv_select: KvSelection::NetKv,
+            kv_score: KvSelectParams::default(),
         }
     }
 }
@@ -440,6 +460,55 @@ impl CommStrategy for HeroScheduler {
             .cloned()
     }
 
+    fn network_aware_admission(&self) -> bool {
+        self.params.kv_select == KvSelection::NetKv
+    }
+
+    /// NetKV-style decode selection: among the admissible candidates,
+    /// minimize estimated striped transfer time over residual bandwidth
+    /// plus load/pressure penalties. Ties (exactly equal scores) keep the
+    /// lowest instance index — candidates arrive in ascending order, so
+    /// strict `<` comparison is the deterministic tiebreak.
+    fn choose_decode(&mut self, ctx: &KvCtx<'_>, candidates: &[KvCandidate]) -> Option<KvChoice> {
+        if self.params.kv_select != KvSelection::NetKv {
+            return None;
+        }
+        let avail = available_bandwidth(&self.graph, ctx.link_util);
+        let mut best: Option<(f64, KvChoice)> = None;
+        for c in candidates {
+            let est = kv_transfer_estimate(
+                &self.graph,
+                &self.ap,
+                ctx.src_gpus,
+                &c.dst_gpus,
+                ctx.bytes,
+                &avail,
+            );
+            let reserved_frac = if c.capacity_tokens == 0 {
+                1.0
+            } else {
+                1.0 - c.headroom_tokens as f64 / c.capacity_tokens as f64
+            };
+            let score = netkv_score(est, c.load, reserved_frac, &self.params.kv_score);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => score
+                    .partial_cmp(b)
+                    .is_some_and(|o| o == std::cmp::Ordering::Less),
+            };
+            if better {
+                best = Some((
+                    score,
+                    KvChoice {
+                        instance: c.instance,
+                        est_transfer_s: est,
+                    },
+                ));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
     fn on_monitor(&mut self, link_util: &[f64], now: SimTime) {
         self.link_util.clear();
         self.link_util.extend_from_slice(link_util);
@@ -786,6 +855,144 @@ mod tests {
         assert!(j.is_finite() && j >= 0.0);
         assert!(recs.iter().any(|r| r.name == "policy_charge"));
         assert!(recs.iter().any(|r| r.name == "table_refresh"));
+    }
+
+    fn kv_candidate(
+        instance: usize,
+        dst_gpus: Vec<NodeId>,
+        load: usize,
+        headroom: u64,
+    ) -> KvCandidate {
+        KvCandidate {
+            instance,
+            load,
+            headroom_tokens: headroom,
+            capacity_tokens: 10_000,
+            dst_gpus,
+        }
+    }
+
+    #[test]
+    fn netkv_prefers_nvlink_local_decode() {
+        let (mut s, _, t) = scheduler();
+        assert!(s.network_aware_admission());
+        let src = t.gpus_by_server[0][..2].to_vec();
+        let util = vec![0.0; t.graph.link_count()];
+        let ctx = KvCtx {
+            req: 0,
+            bytes: 64 << 20,
+            src_gpus: &src,
+            link_util: &util,
+            now: SimTime::ZERO,
+        };
+        // Equal load and headroom: the NVLink-local candidate's transfer
+        // estimate dominates and it wins despite the higher index.
+        let c = s
+            .choose_decode(
+                &ctx,
+                &[
+                    kv_candidate(0, t.gpus_by_server[1][..2].to_vec(), 1, 5_000),
+                    kv_candidate(1, t.gpus_by_server[0][2..].to_vec(), 1, 5_000),
+                ],
+            )
+            .expect("a choice among nonempty candidates");
+        assert_eq!(c.instance, 1, "NVLink-local decode should win");
+        assert!(c.est_transfer_s > 0.0);
+    }
+
+    #[test]
+    fn netkv_routes_around_congested_uplinks() {
+        let (mut s, _, t) = scheduler();
+        let src = t.gpus_by_server[0].clone();
+        let candidates = [
+            kv_candidate(0, t.gpus_by_server[1].clone(), 1, 5_000),
+            kv_candidate(1, t.gpus_by_server[3].clone(), 1, 5_000),
+        ];
+        // Idle fabric: symmetric estimates, lowest index wins the tie.
+        let idle = vec![0.0; t.graph.link_count()];
+        let ctx = KvCtx {
+            req: 0,
+            bytes: 256 << 20,
+            src_gpus: &src,
+            link_util: &idle,
+            now: SimTime::ZERO,
+        };
+        let c = s.choose_decode(&ctx, &candidates).expect("choice");
+        assert_eq!(c.instance, 0);
+        // Saturate server 1's uplinks: the estimate through them inflates
+        // and selection shifts to server 3 at equal load.
+        let mut util = vec![0.0; t.graph.link_count()];
+        for (lid, link) in t.graph.links() {
+            if t.gpus_by_server[1].contains(&link.a) || t.gpus_by_server[1].contains(&link.b) {
+                util[lid.idx()] = 0.95;
+            }
+        }
+        let ctx = KvCtx {
+            req: 0,
+            bytes: 256 << 20,
+            src_gpus: &src,
+            link_util: &util,
+            now: SimTime::ZERO,
+        };
+        let hot = s.choose_decode(&ctx, &candidates).expect("choice");
+        assert_eq!(hot.instance, 1, "selection must route around congestion");
+        assert!(hot.est_transfer_s < c.est_transfer_s * 10.0);
+    }
+
+    #[test]
+    fn netkv_penalizes_kv_pressure() {
+        let (mut s, _, t) = scheduler();
+        let src = t.gpus_by_server[0].clone();
+        let util = vec![0.0; t.graph.link_count()];
+        let ctx = KvCtx {
+            req: 0,
+            bytes: 64 << 20,
+            src_gpus: &src,
+            link_util: &util,
+            now: SimTime::ZERO,
+        };
+        // Symmetric network estimates; the nearly-full instance loses.
+        let c = s
+            .choose_decode(
+                &ctx,
+                &[
+                    kv_candidate(0, t.gpus_by_server[1].clone(), 1, 100),
+                    kv_candidate(1, t.gpus_by_server[3].clone(), 1, 9_000),
+                ],
+            )
+            .expect("choice");
+        assert_eq!(c.instance, 1, "KV pressure should repel admissions");
+    }
+
+    #[test]
+    fn least_loaded_mode_disables_network_awareness() {
+        let t = testbed();
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let params = SchedulerParams {
+            kv_select: KvSelection::LeastLoaded,
+            ..SchedulerParams::default()
+        };
+        let mut s = HeroScheduler::new(&t.graph, ap, params);
+        assert!(!s.network_aware_admission());
+        let src = t.gpus_by_server[0].clone();
+        let util = vec![0.0; t.graph.link_count()];
+        let ctx = KvCtx {
+            req: 0,
+            bytes: 64 << 20,
+            src_gpus: &src,
+            link_util: &util,
+            now: SimTime::ZERO,
+        };
+        assert!(
+            s.choose_decode(
+                &ctx,
+                &[kv_candidate(0, t.gpus_by_server[1].clone(), 0, 9_000)]
+            )
+            .is_none(),
+            "least-loaded mode must defer to the engine"
+        );
     }
 
     #[test]

@@ -75,6 +75,8 @@ pub mod track {
     pub const SWITCH: u32 = 5;
     /// Fault injection / recovery / reroute; `tid` = 0.
     pub const FAULTS: u32 = 6;
+    /// KV-cache transfer flows (prefill→decode shipment); `tid` = request id.
+    pub const KV: u32 = 7;
 
     /// Human-readable name for a process id (used for trace metadata).
     pub fn name(pid: u32) -> &'static str {
@@ -85,12 +87,21 @@ pub mod track {
             SCHEDULER => "scheduler",
             SWITCH => "switch",
             FAULTS => "faults",
+            KV => "kv_transfer",
             _ => "other",
         }
     }
 
     /// All process ids the exporter should label.
-    pub const ALL: [u32; 6] = [REQUESTS, COLLECTIVES, NETWORK, SCHEDULER, SWITCH, FAULTS];
+    pub const ALL: [u32; 7] = [
+        REQUESTS,
+        COLLECTIVES,
+        NETWORK,
+        SCHEDULER,
+        SWITCH,
+        FAULTS,
+        KV,
+    ];
 }
 
 /// One structured trace event.

@@ -339,6 +339,85 @@ impl Tracer {
     }
 
     // ------------------------------------------------------------------
+    // KV-cache transfers (prefill→decode shipment, Eq. 14-15).
+    // ------------------------------------------------------------------
+
+    /// A KV shipment launched: full byte volume, stripe count (Eq. 15
+    /// parallel TP pairs), source/chosen instances, and the selector's
+    /// transfer-time estimate (audited against the realized time at
+    /// [`kv_transfer_end`](Self::kv_transfer_end)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn kv_transfer_begin(
+        &self,
+        t: SimTime,
+        req: u64,
+        src_instance: u64,
+        dst_instance: u64,
+        bytes: u64,
+        stripes: usize,
+        est_s: f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Record {
+            t,
+            ph: Ph::Begin,
+            name: "kv_flow",
+            cat: "kv",
+            pid: track::KV,
+            tid: req,
+            args: vec![
+                ("src_instance", Val::U64(src_instance)),
+                ("dst_instance", Val::U64(dst_instance)),
+                ("bytes", Val::U64(bytes)),
+                ("stripes", Val::U64(stripes as u64)),
+                ("est_s", Val::F64(est_s)),
+            ],
+        });
+    }
+
+    /// All stripes of a KV shipment drained: realized transfer time, the
+    /// admission-time estimate, and how many fault-induced retries it took.
+    pub fn kv_transfer_end(&self, t: SimTime, req: u64, actual_s: f64, est_s: f64, retries: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Record {
+            t,
+            ph: Ph::End,
+            name: "kv_flow",
+            cat: "kv",
+            pid: track::KV,
+            tid: req,
+            args: vec![
+                ("actual_s", Val::F64(actual_s)),
+                ("est_s", Val::F64(est_s)),
+                ("retries", Val::U64(retries as u64)),
+            ],
+        });
+    }
+
+    /// A fault aborted KV stripes; the whole shipment relaunches after the
+    /// backoff from its true source.
+    pub fn kv_retry(&self, t: SimTime, req: u64, attempt: u32, lost_stripes: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::KV,
+            req,
+            "kv_retry",
+            "kv",
+            vec![
+                ("attempt", Val::U64(attempt as u64)),
+                ("lost_stripes", Val::U64(lost_stripes as u64)),
+            ],
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Network (hs-simnet).
     // ------------------------------------------------------------------
 

@@ -11,7 +11,7 @@
 //! refresh).
 
 use heroserve::scheduler::{HeroScheduler, SchedulerParams};
-use hs_cluster::{CommCtx, CommStrategy};
+use hs_cluster::{CommCtx, CommStrategy, KvCandidate, KvCtx};
 use hs_des::SimTime;
 use hs_topology::builders::testbed;
 use hs_topology::{AllPairs, LinkWeight, NodeId};
@@ -66,4 +66,58 @@ fn main() {
     println!("\nExpected shape: hierarchical INA at the nearest switch when idle; the");
     println!("selection migrates to the other switch (or NVLink-first ring) when its");
     println!("links saturate — Fig. 5's next-hop adaptation.");
+
+    // The same scheduler also drives the NetKV-style decode selection for
+    // prefill→decode KV shipments: score = estimated striped transfer
+    // time over residual bandwidth + load/pressure penalties.
+    println!("\n--- NetKV decode selection (KV shipment from server 0) ---");
+    let src = topo.gpus_by_server[0][..2].to_vec();
+    let candidates = [
+        KvCandidate {
+            instance: 0,
+            load: 2,
+            headroom_tokens: 40_000,
+            capacity_tokens: 60_000,
+            dst_gpus: topo.gpus_by_server[0][2..].to_vec(), // NVLink-local
+        },
+        KvCandidate {
+            instance: 1,
+            load: 0,
+            headroom_tokens: 60_000,
+            capacity_tokens: 60_000,
+            dst_gpus: topo.gpus_by_server[1][..2].to_vec(), // across Ethernet
+        },
+    ];
+    for (name, hot) in [("idle fabric", false), ("server-1 uplinks at 95 %", true)] {
+        util.iter_mut().for_each(|u| *u = 0.0);
+        if hot {
+            for (lid, link) in topo.graph.links() {
+                if topo.gpus_by_server[1].contains(&link.a)
+                    || topo.gpus_by_server[1].contains(&link.b)
+                {
+                    util[lid.idx()] = 0.95;
+                }
+            }
+        }
+        let choice = sched.choose_decode(
+            &KvCtx {
+                req: 0,
+                bytes: 512 << 20,
+                src_gpus: &src,
+                link_util: &util,
+                now: SimTime::ZERO,
+            },
+            &candidates,
+        );
+        match choice {
+            Some(c) => println!(
+                "  {name}: instance {} (est transfer {:.1} ms)",
+                c.instance,
+                c.est_transfer_s * 1e3
+            ),
+            None => println!("  {name}: engine falls back to least-loaded"),
+        }
+    }
+    println!("\nExpected shape: the NVLink-local instance wins despite carrying more");
+    println!("load; it keeps winning when the remote uplinks congest.");
 }

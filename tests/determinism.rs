@@ -92,6 +92,7 @@ fn report_json(r: &SimReport) -> String {
             json!({
                 "id": m.id,
                 "ttft_s": m.ttft_s,
+                "ttft_e2e_s": m.ttft_e2e_s,
                 "tpot_s": m.tpot_s,
                 "completed": m.completed,
                 "sla_ok": m.sla_ok,
@@ -126,6 +127,16 @@ fn report_json(r: &SimReport) -> String {
         "flow_retries": r.flow_retries,
         "mean_reroute_s": r.mean_reroute_s,
         "fault_window_attainment": r.fault_window_attainment,
+        "kv_transfers": r.kv_transfers,
+        "kv_stripes": r.kv_stripes,
+        "kv_retries": r.kv_retries,
+        "kv_deferrals": r.kv_deferrals,
+        "kv_bytes": r.kv_bytes,
+        "mean_kv_transfer_s": r.mean_kv_transfer_s,
+        "p90_kv_transfer_s": r.p90_kv_transfer_s,
+        "mean_kv_est_err_s": r.mean_kv_est_err_s,
+        "mean_ttft_e2e_s": r.mean_ttft_e2e_s,
+        "p90_ttft_e2e_s": r.p90_ttft_e2e_s,
     });
     serde_json::to_string_pretty(&v).expect("report serializes")
 }
@@ -286,6 +297,87 @@ fn observability_does_not_perturb_the_simulation() {
         "attaching tracer/metrics must not change simulation outcomes"
     );
     assert!(!tracer.records().is_empty(), "tracer actually recorded");
+}
+
+/// The new KV machinery under its most state-heavy path: network-aware
+/// (NetKV) decode selection, striped transfers, and fault-induced KV
+/// retries must all replay bit-identically. Large shipments (32k tokens,
+/// ~1 s striped) plus a 1 Hz pulse train of 50 ms uplink outages
+/// guarantee in-flight stripes abort and relaunch.
+#[test]
+fn netkv_run_with_kv_retries_is_bit_identical() {
+    use hs_cluster::batching::BatchPolicy;
+    use hs_cluster::{ClusterConfig, ClusterSim, InstanceSpec};
+    use hs_des::SimSpan;
+    use hs_model::profile::{fit, ProfileGrid};
+    use hs_model::GpuModel;
+    use hs_workload::{FaultKind, Request, RequestId, Trace};
+
+    let run = || {
+        let t = testbed();
+        let mut faults = FaultPlan::none();
+        for &gpu in &t.gpus_by_server[0] {
+            for &(nb, l) in t.graph.neighbors(gpu) {
+                if t.access_switches.contains(&nb) {
+                    for k in 1..=10u64 {
+                        faults.push(SimTime::from_secs(k), FaultKind::LinkDown { link: l });
+                        faults.push(
+                            SimTime::from_millis(k * 1000 + 50),
+                            FaultKind::LinkUp { link: l },
+                        );
+                    }
+                }
+            }
+        }
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 30.0,
+            tpot_sla_s: 0.15,
+            prefill: vec![InstanceSpec::tensor_parallel(t.gpus_by_server[0].clone())],
+            decode: vec![
+                InstanceSpec::tensor_parallel(t.gpus_by_server[1].clone()),
+                InstanceSpec::tensor_parallel(t.gpus_by_server[2].clone()),
+            ],
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+            faults,
+        };
+        let trace = Trace {
+            requests: (0..6)
+                .map(|i| Request {
+                    id: RequestId(i),
+                    arrival: SimTime::from_millis(i * 500),
+                    input_tokens: 32_768,
+                    output_tokens: 4,
+                })
+                .collect(),
+        };
+        let params = heroserve::SchedulerParams {
+            kv_select: heroserve::KvSelection::NetKv,
+            ..heroserve::SchedulerParams::default()
+        };
+        let sched = heroserve::HeroScheduler::new(&t.graph, ap.clone(), params);
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(sched));
+        sim.run(SimTime::from_secs(90))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        report_json(&a),
+        report_json(&b),
+        "NetKV + KV-retry run must replay bit-identically"
+    );
+    assert!(a.kv_retries > 0, "no fault-induced KV retry was exercised");
+    assert_eq!(a.completed, a.arrived, "requests stuck after recovery");
 }
 
 static SHARED_DEPLOY: OnceLock<Deployment> = OnceLock::new();
