@@ -250,6 +250,10 @@ pub struct ClusterSim {
     ina_failovers: u64,
     aborted_flows: u64,
     flow_retries: u64,
+    /// INA slot releases with no matching acquisition (a lifecycle
+    /// accounting bug upstream — e.g. a collective ended twice). The
+    /// release is dropped rather than conjuring capacity.
+    ina_release_underflows: u64,
     /// Seconds from each fault-induced abort to a relaunch whose plan
     /// avoids every dead link (time-to-reroute samples).
     reroute_secs: Vec<f64>,
@@ -380,6 +384,7 @@ impl ClusterSim {
             ina_failovers: 0,
             aborted_flows: 0,
             flow_retries: 0,
+            ina_release_underflows: 0,
             reroute_secs: Vec::new(),
             kv_transfers: 0,
             kv_stripes_launched: 0,
@@ -404,6 +409,15 @@ impl ClusterSim {
         self.obs = ObsIds::register(metrics);
         self.net.set_tracer(tracer);
         self.strategy.attach_tracer(tracer);
+    }
+
+    /// Override the network engine's bulk-advance shard threshold
+    /// (DESIGN.md §12). The default is parallelism-aware; this knob lets
+    /// scale harnesses force the sharded path (or pin the sequential
+    /// one) — output is bit-identical either way, so it is purely a
+    /// performance control.
+    pub fn set_shard_threshold(&mut self, threshold: usize) {
+        self.net.set_shard_threshold(threshold);
     }
 
     /// Run until `horizon` and produce the report.
@@ -1114,8 +1128,24 @@ impl ClusterSim {
     fn release_ina(&mut self, sw: Option<NodeId>, job: u64) {
         let Some(sw) = sw else { return };
         self.tracer.ina_session_end(self.now, sw.0 as u64, job);
-        let c = self.ina_active.entry(sw).or_insert(1);
-        *c = c.saturating_sub(1);
+        // Every release must pair with an acquisition. The old
+        // `or_insert(1)` + `saturating_sub` would conjure a slot for an
+        // unpaired release (e.g. a collective ended twice) and silently
+        // widen the switch's session capacity; instead the release is
+        // dropped, counted, and flagged in debug builds.
+        match self.ina_active.get_mut(&sw) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => {
+                debug_assert!(
+                    false,
+                    "INA release without matching acquire (switch {}, job {job})",
+                    sw.0
+                );
+                self.ina_release_underflows += 1;
+                // No slot actually freed, so nothing to hand to a waiter.
+                return;
+            }
+        }
         // Admit one waiting collective, if any.
         if let Some(q) = self.ina_waiting.get_mut(&sw) {
             if let Some(w) = q.pop_front() {
@@ -1520,6 +1550,7 @@ impl ClusterSim {
             ring_ops: self.ring_ops,
             ina_fallbacks: self.ina_fallbacks,
             ina_failovers: self.ina_failovers,
+            ina_release_underflows: self.ina_release_underflows,
             aborted_flows: self.aborted_flows,
             flow_retries: self.flow_retries,
             mean_reroute_s: hs_workload::mean(&self.reroute_secs),
@@ -1705,6 +1736,39 @@ mod tests {
             hier.eth_bytes,
             flat.eth_bytes
         );
+    }
+
+    /// Ending a collective's INA session twice must not conjure switch
+    /// capacity: the unpaired release is dropped, counted, and surfaced
+    /// in the report (release builds; debug builds assert instead).
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn unpaired_ina_release_is_counted_and_conjures_nothing() {
+        let (mut sim, _) = build_sim(1.0, 5, Scheme::Ring, FaultPlan::none());
+        let sw = testbed().access_switches[0];
+        sim.ina_active.insert(sw, 1);
+        sim.release_ina(Some(sw), 7);
+        assert_eq!(sim.ina_active[&sw], 0);
+        assert_eq!(sim.ina_release_underflows, 0);
+        // Second end of the same job: the slot is already free.
+        sim.release_ina(Some(sw), 7);
+        assert_eq!(sim.ina_active[&sw], 0, "no slot conjured");
+        assert_eq!(sim.ina_release_underflows, 1);
+        let report = sim.build_report(SimTime::from_secs(5));
+        assert_eq!(report.ina_release_underflows, 1);
+    }
+
+    /// In debug builds the unpaired release trips an assertion at the
+    /// faulty call site instead of limping on.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "INA release without matching acquire")]
+    fn unpaired_ina_release_asserts_in_debug() {
+        let (mut sim, _) = build_sim(1.0, 5, Scheme::Ring, FaultPlan::none());
+        let sw = testbed().access_switches[0];
+        sim.ina_active.insert(sw, 1);
+        sim.release_ina(Some(sw), 7);
+        sim.release_ina(Some(sw), 7);
     }
 
     #[test]

@@ -24,27 +24,43 @@ pub struct KvStripe {
 
 /// Split `bytes` across the Eq. 15 parallel TP pairs.
 ///
-/// With `s` source ranks and `d` destination ranks, `max(s, d)` stripes are
+/// With `s` source ranks and `d` destination ranks, `max(s, d)` pairs are
 /// formed, pairing rank `i % s` with rank `i % d` — every GPU on the wider
-/// side participates, and the narrower side fans in/out round-robin. Bytes
-/// split evenly with the remainder spread over the leading stripes.
-/// Stripes that would carry zero bytes, and `src == dst` self-pairs (an
-/// interleaved deployment can place prefill and decode shards on the same
-/// GPU), are dropped: neither puts traffic on the fabric.
+/// side participates, and the narrower side fans in/out round-robin.
+/// `src == dst` self-pairs (an interleaved deployment can place prefill
+/// and decode shards on the same GPU) are local copies that never touch
+/// the fabric, so they are removed *before* the byte split: the shipped
+/// payload divides over the stripes that actually carry traffic, with the
+/// integer-division remainder landing in the last stripe. The surviving
+/// stripes therefore conserve the payload exactly —
+/// `Σ stripe.bytes == bytes` whenever the plan is non-empty; the plan is
+/// empty only for degenerate inputs (no ranks, zero bytes, or a fully
+/// co-located placement where nothing crosses the fabric). Stripes that
+/// would carry zero bytes (payload smaller than the stripe count) are
+/// dropped from the front, never from the byte total.
 pub fn stripe_plan(src_gpus: &[NodeId], dst_gpus: &[NodeId], bytes: u64) -> Vec<KvStripe> {
     if src_gpus.is_empty() || dst_gpus.is_empty() || bytes == 0 {
         return Vec::new();
     }
-    let n = src_gpus.len().max(dst_gpus.len()) as u64;
-    let base = bytes / n;
-    let rem = bytes % n;
-    (0..n)
-        .map(|i| KvStripe {
-            src: src_gpus[i as usize % src_gpus.len()],
-            dst: dst_gpus[i as usize % dst_gpus.len()],
-            bytes: base + u64::from(i < rem),
+    let n = src_gpus.len().max(dst_gpus.len());
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|i| (src_gpus[i % src_gpus.len()], dst_gpus[i % dst_gpus.len()]))
+        .filter(|(src, dst)| src != dst)
+        .collect();
+    let Some(k) = u64::try_from(pairs.len()).ok().filter(|&k| k > 0) else {
+        return Vec::new();
+    };
+    let base = bytes / k;
+    let rem = bytes % k;
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (src, dst))| KvStripe {
+            src,
+            dst,
+            bytes: base + if i as u64 == k - 1 { rem } else { 0 },
         })
-        .filter(|s| s.bytes > 0 && s.src != s.dst)
+        .filter(|s| s.bytes > 0)
         .collect()
 }
 
@@ -63,10 +79,11 @@ mod tests {
         let plan = stripe_plan(&src, &dst, 1_000_003);
         assert_eq!(plan.len(), 4);
         assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), 1_000_003);
-        // Remainder lands on the leading stripes: shares differ by ≤ 1.
-        let min = plan.iter().map(|s| s.bytes).min().unwrap();
-        let max = plan.iter().map(|s| s.bytes).max().unwrap();
-        assert!(max - min <= 1);
+        // The integer-division remainder lands in the last stripe.
+        assert_eq!(plan[0].bytes, 250_000);
+        assert_eq!(plan[1].bytes, 250_000);
+        assert_eq!(plan[2].bytes, 250_000);
+        assert_eq!(plan[3].bytes, 250_003);
     }
 
     #[test]
@@ -92,8 +109,16 @@ mod tests {
         let src = nodes(&[0, 1, 2, 3]);
         let dst = nodes(&[10, 11, 12, 13]);
         let plan = stripe_plan(&src, &dst, 3);
-        assert_eq!(plan.len(), 3, "only stripes with bytes survive");
-        assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), 3);
+        // base = 0, so only the remainder-carrying last stripe survives.
+        assert_eq!(plan.len(), 1, "only stripes with bytes survive");
+        assert_eq!(
+            plan[0],
+            KvStripe {
+                src: NodeId(3),
+                dst: NodeId(13),
+                bytes: 3
+            }
+        );
     }
 
     #[test]
@@ -103,5 +128,48 @@ mod tests {
         assert!(stripe_plan(&nodes(&[1]), &nodes(&[2]), 0).is_empty());
         // Self-pairs (co-located prefill/decode shards) carry no traffic.
         assert!(stripe_plan(&nodes(&[5]), &nodes(&[5]), 100).is_empty());
+    }
+
+    #[test]
+    fn co_located_ranks_do_not_leak_bytes() {
+        // Rank pair 1 is a self-pair (GPU 1 hosts both a prefill and a
+        // decode shard); the payload must still arrive in full over the
+        // stripes that cross the fabric.
+        let src = nodes(&[0, 1, 2, 3]);
+        let dst = nodes(&[10, 1, 12, 13]);
+        let plan = stripe_plan(&src, &dst, 1_000);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), 1_000);
+        assert_eq!(plan[2].bytes, 333 + 1, "remainder rides the last stripe");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Σ stripe.bytes == payload for arbitrary rank counts, overlap,
+        /// and payload sizes — unless *every* pair is co-located, in which
+        /// case nothing crosses the fabric and the plan is empty.
+        #[test]
+        fn stripes_conserve_payload(
+            src in proptest::collection::vec(0u32..24, 1..16),
+            dst in proptest::collection::vec(0u32..24, 1..16),
+            bytes in 1u64..1 << 33,
+        ) {
+            let src: Vec<NodeId> = src.into_iter().map(NodeId).collect();
+            let dst: Vec<NodeId> = dst.into_iter().map(NodeId).collect();
+            let n = src.len().max(dst.len());
+            let all_self = (0..n).all(|i| src[i % src.len()] == dst[i % dst.len()]);
+            let plan = stripe_plan(&src, &dst, bytes);
+            if all_self {
+                prop_assert!(plan.is_empty());
+            } else {
+                prop_assert_eq!(plan.iter().map(|s| s.bytes).sum::<u64>(), bytes);
+                prop_assert!(plan.iter().all(|s| s.bytes > 0 && s.src != s.dst));
+            }
+        }
     }
 }

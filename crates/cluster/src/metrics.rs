@@ -73,6 +73,10 @@ pub struct SimReport {
     /// Collectives redirected away from a *failed* INA switch (distinct
     /// from `ina_fallbacks`, which counts busy-switch degradations).
     pub ina_failovers: u64,
+    /// INA slot releases that had no matching acquisition (always 0 in a
+    /// correct run; a nonzero value flags a collective-lifecycle
+    /// accounting bug such as a double end).
+    pub ina_release_underflows: u64,
     /// Flows aborted mid-transfer because a fault killed a link under them.
     pub aborted_flows: u64,
     /// Collective/KV relaunches issued after fault-induced aborts.

@@ -19,17 +19,23 @@
 //!   the role of the switch hardware counters and DCGM NVLink counters the
 //!   paper's agents poll (§IV).
 //!
-//! Rate maintenance is incremental: [`SimNet`] owns a persistent
-//! [`SolverWorkspace`], re-solves only the connected component of
-//! links/flows a change touches, and finds completions through a
-//! lazily-invalidated min-heap — see `net.rs` and DESIGN.md §9. The
-//! from-scratch solver ([`compute_rates`]) is retained as the reference
-//! oracle for the equivalence suite.
+//! Rate maintenance is incremental and two-tier: [`SimNet`] owns a
+//! persistent [`SolverWorkspace`] plus a one-round aggregate solver
+//! ([`OneRoundSolver`]), re-solves only the connected component of
+//! links/flows a change touches (settling single-bottleneck components
+//! in O(n) and handing congested ones to the exact water-filling loop),
+//! and finds completions through a lazily-invalidated min-heap. Bulk
+//! advances shard independent components across rayon workers with a
+//! deterministic `(SimTime, FlowId)` event merge — see `net.rs`,
+//! `shard.rs`, and DESIGN.md §9/§12. The from-scratch solver
+//! ([`compute_rates`]) is retained as the reference oracle for the
+//! equivalence suite.
 
 pub mod fairshare;
 pub mod monitor;
 pub mod net;
+mod shard;
 
-pub use fairshare::{compute_rates, FlowSpan, SolverWorkspace};
+pub use fairshare::{compute_rates, FlowSpan, OneRoundSolver, SolverWorkspace};
 pub use monitor::LinkMonitor;
-pub use net::{DirLink, Flow, FlowId, SimNet};
+pub use net::{DirLink, Flow, FlowId, SimNet, SolveStats};

@@ -10,29 +10,50 @@
 //! path propagation delay)`; serialization progress accrues at the flow's
 //! current fair-share rate, which changes whenever flows start or finish.
 //!
-//! # Incremental fair-share engine
+//! # Incremental two-tier fair-share engine
 //!
-//! Rate maintenance is *incremental* (see DESIGN.md §9). The simulator
-//! owns a persistent [`SolverWorkspace`] plus a link→flow incidence table,
-//! so a flow add/remove triggers a **component-scoped** re-solve: only the
-//! flows transitively sharing a link with the changed flow are re-rated
-//! (max-min allocations decompose across connected components of the
-//! flow/link graph, so untouched components keep their exact rates).
-//! [`SimNet::set_link_scale`] falls back to a full solve. Completion
-//! lookup uses a lazily-invalidated min-heap of `(finish, flow, epoch)`
-//! entries — a stale entry (its flow re-rated or gone) is discarded when
-//! it surfaces — making [`SimNet::next_event_time`] and the completion
-//! loop in [`SimNet::advance_to`] `O(log n)` per event instead of a scan
-//! over every active flow. Results are bit-identical to a from-scratch
-//! solve per event: `tests/equivalence.rs` drives arbitrary event
-//! sequences through this engine and a retained reference implementation
-//! and asserts identical rates, completions, and cumulative link bytes.
+//! Rate maintenance is *incremental* (see DESIGN.md §9 and §12). The
+//! simulator owns a persistent [`SolverWorkspace`] plus a link→flow
+//! incidence table, so a flow add/remove triggers a **component-scoped**
+//! re-solve: only the flows transitively sharing a link with the changed
+//! flow are re-rated (max-min allocations decompose across connected
+//! components of the flow/link graph, so untouched components keep their
+//! exact rates). [`SimNet::set_link_scale`] is scoped the same way — a
+//! capacity change can only move bottlenecks within the scaled link's
+//! component. Each scoped solve first tries the **aggregate tier**
+//! ([`OneRoundSolver`]): a component constrained by a single bottleneck
+//! link is settled in one round, bitwise-identical to the exact solver,
+//! and only a component where a second link saturates hands off to the
+//! full water-filling loop.
+//!
+//! Flow progress is accrued **lazily at touch points**: a flow's
+//! `remaining_bytes` is materialized only when its rate *value* changes
+//! (or it is cancelled/aborted/completed) — points that are identical in
+//! scoped, full-resolve, and sharded modes, which is what keeps all modes
+//! bit-identical. Byte-counter queries ([`SimNet::cumulative_bytes_dir`],
+//! [`SimNet::flow_remaining`]) are pure: they add the pending in-flight
+//! contribution without mutating state. Completion lookup uses a
+//! lazily-invalidated min-heap of `(finish, flow, epoch)` entries — this
+//! doubles as the position heap of the aggregate tier — making
+//! [`SimNet::next_event_time`] and [`SimNet::advance_to`] `O(log n)` per
+//! event with *no* per-event scan over unrelated flows.
+//!
+//! Bulk advances over many due completions are **sharded**: independent
+//! connected components are extracted as owned tasks, simulated on rayon
+//! workers, and their completion lists merged deterministically by
+//! `(SimTime, FlowId)` (see `shard.rs` and DESIGN.md §12). Results are
+//! bit-identical to the sequential loop: `tests/equivalence.rs` drives
+//! arbitrary event sequences through every mode and a retained reference
+//! implementation and asserts identical rates, completions, and
+//! cumulative link bytes.
 
-use crate::fairshare::{FlowSpan, SolverWorkspace};
+use crate::fairshare::{FlowSpan, OneRoundSolver, SolverWorkspace};
+use crate::shard::{run_shard, ShardTask};
 use hs_des::{SimSpan, SimTime};
 use hs_topology::{Graph, LinkId};
+use rayon::prelude::*;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// One directed hop: the link and whether it is traversed `a -> b`
 /// (links are full duplex; each direction is its own capacity pool).
@@ -40,7 +61,7 @@ pub type DirLink = (LinkId, bool);
 
 /// Dense slot index of a directed link.
 #[inline]
-fn slot(d: DirLink) -> usize {
+pub(crate) fn slot(d: DirLink) -> usize {
     d.0.idx() * 2 + d.1 as usize
 }
 
@@ -53,7 +74,10 @@ pub struct FlowId(pub u64);
 pub struct Flow {
     /// Directed hops the flow traverses (loopless).
     pub path: Vec<DirLink>,
-    /// Bytes still to serialize.
+    /// Bytes still to serialize *as of the last materialization point*
+    /// (rate change, cancel, or completion). For the live value at the
+    /// current clock use [`SimNet::flow_remaining`]; flows returned by
+    /// cancel/abort/complete are materialized before they are handed out.
     pub remaining_bytes: f64,
     /// Total size at start (for reporting).
     pub size_bytes: u64,
@@ -74,8 +98,12 @@ pub struct Flow {
     /// drain), never recomputed in between, so heap keys stay exact.
     /// `SimTime::MAX` while starved (rate 0).
     pub(crate) finish_at: SimTime,
+    /// Progress is accrued up to this instant; the window
+    /// `(touched, clock]` is pending at `rate_bps` (lazy accrual).
+    pub(crate) touched: SimTime,
     /// Validity epoch of this flow's newest heap entry; entries carrying
     /// an older epoch are stale and discarded when they surface.
+    /// Per-flow (not global) so shard execution order cannot influence it.
     pub(crate) epoch: u64,
     /// Visit stamp for the component BFS (scoped re-solves).
     pub(crate) seen: u64,
@@ -89,20 +117,144 @@ impl Flow {
     }
 }
 
-/// Which part of the rate state is out of date.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Dirty {
-    /// Rates match the current flow set.
-    Clean,
-    /// Only components reachable from `seed_slots` need re-solving.
-    Scoped,
-    /// Everything needs re-solving (capacity change).
-    Full,
-}
-
 /// Min-heap entry: `(finish estimate, flow, epoch)`. The epoch tiebreak
 /// keeps pop order fully deterministic even among stale duplicates.
-type HeapEntry = Reverse<(SimTime, FlowId, u64)>;
+pub(crate) type HeapEntry = Reverse<(SimTime, FlowId, u64)>;
+
+/// Accrue `f`'s progress over `(f.touched, clock]` at its current rate.
+///
+/// This is THE materialization point of the lazy-accrual contract: it runs
+/// only when the flow's rate value is about to change, or the flow is
+/// cancelled/aborted/completed — events that occur at identical instants
+/// in scoped, full-resolve, and sharded modes (rates are bitwise equal
+/// across modes), so every mode performs the identical float operations.
+/// `to_slot` maps a directed hop to the index into `cum` (global slots
+/// for [`SimNet`], component-local slots for a shard).
+pub(crate) fn materialize<M: Fn(DirLink) -> usize>(
+    f: &mut Flow,
+    id: FlowId,
+    clock: SimTime,
+    cum: &mut [f64],
+    heap: &mut BinaryHeap<HeapEntry>,
+    to_slot: M,
+) {
+    if clock <= f.touched {
+        return;
+    }
+    let base = f.touched;
+    f.touched = clock;
+    if f.rate_bps > 0.0 && f.rate_bps.is_finite() && f.remaining_bytes > 0.0 {
+        let dt = (clock - base).as_secs_f64();
+        let bytes = f.rate_bps / 8.0 * dt;
+        let consumed = bytes.min(f.remaining_bytes);
+        // If the flow drains inside this window, record the last bit's
+        // arrival time (drain instant + propagation).
+        if consumed >= f.remaining_bytes {
+            let drain_secs = f.remaining_bytes * 8.0 / f.rate_bps;
+            let drained_at = base + SimSpan::from_secs_f64(drain_secs);
+            f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
+        }
+        f.remaining_bytes -= consumed;
+        if f.remaining_bytes < 1e-6 {
+            f.remaining_bytes = 0.0;
+        }
+        for &d in &f.path {
+            cum[to_slot(d)] += consumed;
+        }
+        if f.remaining_bytes <= 0.0 && f.finish_at != f.earliest_finish {
+            // Drain transition: the estimate is final now.
+            f.finish_at = f.earliest_finish;
+            f.epoch += 1;
+            heap.push(Reverse((f.finish_at, id, f.epoch)));
+        }
+    } else if f.rate_bps.is_infinite() {
+        // Empty-path flow: delivered instantly, no link bytes.
+        f.remaining_bytes = 0.0;
+    }
+}
+
+/// Bytes `f` would consume if materialized at `clock` — the pure
+/// (non-mutating) mirror of [`materialize`]'s consumption arithmetic,
+/// used by the query accessors.
+pub(crate) fn pending_consumed(f: &Flow, clock: SimTime) -> f64 {
+    if clock > f.touched && f.rate_bps > 0.0 && f.rate_bps.is_finite() && f.remaining_bytes > 0.0 {
+        let dt = (clock - f.touched).as_secs_f64();
+        (f.rate_bps / 8.0 * dt).min(f.remaining_bytes)
+    } else {
+        0.0
+    }
+}
+
+/// Completion estimate for a *serializing* flow at `clock` (callers
+/// handle the drained and starved cases).
+pub(crate) fn serial_estimate(clock: SimTime, f: &Flow) -> SimTime {
+    if f.rate_bps.is_infinite() {
+        return f.earliest_finish;
+    }
+    // simlint::allow(float-eq, 0.0 is an exact assigned sentinel for starved flows, never computed)
+    if f.rate_bps == 0.0 {
+        return SimTime::MAX;
+    }
+    let secs = f.remaining_bytes * 8.0 / f.rate_bps;
+    let ser = clock + SimSpan::from_secs_f64(secs).saturating_add(SimSpan::from_nanos(1));
+    (ser + f.prop).max(f.earliest_finish)
+}
+
+/// Install a freshly solved rate on `f`. The completion estimate (and
+/// its heap entry) is refreshed only when the rate *value* changed:
+/// under an unchanged rate the estimate is invariant (progress accrues
+/// at exactly that rate), so keeping the stored one avoids rounding
+/// drift — the property that makes incremental and from-scratch
+/// solving bit-identical. Callers must [`materialize`] first when the
+/// rate bits differ.
+pub(crate) fn assign_rate(
+    f: &mut Flow,
+    id: FlowId,
+    rate: f64,
+    clock: SimTime,
+    heap: &mut BinaryHeap<HeapEntry>,
+) {
+    if rate.to_bits() == f.rate_bps.to_bits() {
+        return;
+    }
+    f.rate_bps = rate;
+    if f.remaining_bytes <= 0.0 {
+        // Drained: completion waits only on propagation; the rate no
+        // longer matters for the estimate.
+        return;
+    }
+    let finish = serial_estimate(clock, f);
+    if finish != f.finish_at {
+        f.finish_at = finish;
+        f.epoch += 1;
+        if finish < SimTime::MAX {
+            heap.push(Reverse((finish, id, f.epoch)));
+        }
+    }
+}
+
+/// Counters describing how much solving work the engine performed —
+/// the observable for scoping/aggregate-tier regression tests and for
+/// benchmark reporting. Monotone over the simulator's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Component-scoped re-solves (each may settle via the aggregate
+    /// tier or hand off to the exact solver).
+    pub scoped_solves: u64,
+    /// Scoped solves settled entirely by the one-round aggregate tier.
+    pub aggregate_solves: u64,
+    /// Global re-solves (only in [`SimNet::set_full_resolve`] mode).
+    pub full_solves: u64,
+    /// Total flows rated across all solves (the work metric: a scoped
+    /// solve of a k-flow component adds k).
+    pub flows_rated: u64,
+    /// Re-solves performed inside shard workers during bulk advances.
+    pub shard_solves: u64,
+    /// Bulk advances that took the sharded path.
+    pub sharded_batches: u64,
+    /// Component shards executed across all sharded batches.
+    pub shards_run: u64,
+}
 
 /// Reusable buffers for building solver inputs and running the component
 /// BFS — allocation-free at steady state.
@@ -135,32 +287,52 @@ pub struct SimNet {
     /// kept in sync with `capacities`.
     dir_caps: Vec<f64>,
     link_latency_ns: Vec<u64>,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows, stored as a slab indexed by `FlowId` — ids are
+    /// issued monotonically and never reused, so a flow's id *is* its
+    /// slot. Per-event validity checks dominate the hot path and a direct
+    /// index beats any hash; slab order is ascending-id order, which is
+    /// exactly what every order-sensitive traversal needs. A completed
+    /// flow leaves a `None` slot behind: retained memory is proportional
+    /// to flows ever started (~a pointer-sized header plus the `Flow`
+    /// footprint per slot), the price of hash-free lookups.
+    flows: Vec<Option<Flow>>,
+    /// Number of `Some` entries in `flows`.
+    n_live: usize,
     next_id: u64,
     clock: SimTime,
-    /// Cumulative bytes delivered per directed link (the "hardware
-    /// counters"; index = link*2 + direction).
+    /// Cumulative bytes delivered per directed link as of each flow's last
+    /// materialization (index = link*2 + direction). Queries add the
+    /// pending in-flight window on top — see
+    /// [`SimNet::cumulative_bytes_dir`].
     cum_bytes: Vec<f64>,
     /// Allocated rate per directed link (sum of flow rates), bits/s.
     link_rate: Vec<f64>,
     /// Which flows cross each directed slot, ascending by id (ids are
     /// monotone, so insertion is an append and order is free).
     incidence: Vec<Vec<FlowId>>,
-    dirty: Dirty,
-    /// Directed slots touched by flow adds/removes since the last solve.
+    dirty: bool,
+    /// Directed slots touched by flow adds/removes (or a capacity change)
+    /// since the last solve.
     seed_slots: Vec<usize>,
-    /// Lazy-invalidation completion heap.
+    /// Lazy-invalidation completion heap; doubles as the aggregate tier's
+    /// position heap (a single-bottleneck component's next event is its
+    /// earliest heap entry).
     heap: BinaryHeap<HeapEntry>,
-    /// Monotone epoch source for heap entries.
-    epochs: u64,
     /// Generation counter for BFS visit stamps.
     visit_gen: u64,
     ws: SolverWorkspace,
+    /// Aggregate tier: one-round single-bottleneck kernel.
+    agg: OneRoundSolver,
     scratch: SolveScratch,
-    /// Validation/benchmark knob: when set, every re-solve is global (the
-    /// pre-incremental behaviour). Results are bit-identical either way —
-    /// asserted by `tests/equivalence.rs`.
+    /// Validation/benchmark knob: when set, every re-solve is global and
+    /// bulk advances never shard (the pre-incremental reference
+    /// behaviour). Results are bit-identical either way — asserted by
+    /// `tests/equivalence.rs`.
     full_resolve: bool,
+    /// A bulk advance with more than this many due completions takes the
+    /// sharded path; `usize::MAX` disables sharding.
+    shard_threshold: usize,
+    stats: SolveStats,
     /// Flow/link event sink; no-op unless attached via
     /// [`SimNet::set_tracer`]. Never affects simulation state.
     tracer: hs_obs::Tracer,
@@ -182,23 +354,35 @@ impl SimNet {
             capacities,
             dir_caps,
             link_latency_ns,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            n_live: 0,
             next_id: 0,
             clock: SimTime::ZERO,
             cum_bytes: vec![0.0; 2 * n],
             link_rate: vec![0.0; 2 * n],
             incidence: vec![Vec::new(); 2 * n],
-            dirty: Dirty::Clean,
+            dirty: false,
             seed_slots: Vec::new(),
             heap: BinaryHeap::new(),
-            epochs: 0,
             visit_gen: 0,
             ws: SolverWorkspace::new(),
+            agg: OneRoundSolver::new(),
             scratch: SolveScratch {
                 link_stamp: vec![0; 2 * n],
                 ..SolveScratch::default()
             },
             full_resolve: false,
+            // Sharding only pays for itself when there are workers to
+            // hand shards to: extraction and merge-back are pure
+            // overhead on a single-thread pool, where the sequential
+            // loop over the same batch is strictly faster. Output is
+            // bit-identical either way.
+            shard_threshold: if rayon::current_num_threads() > 1 {
+                64
+            } else {
+                usize::MAX
+            },
+            stats: SolveStats::default(),
             tracer: hs_obs::Tracer::noop(),
         }
     }
@@ -208,13 +392,27 @@ impl SimNet {
         self.tracer = tracer.clone();
     }
 
-    /// Force every re-solve to be global instead of component-scoped.
+    /// Force every re-solve to be global instead of component-scoped
+    /// (also disables the aggregate tier and sharded advances).
     ///
     /// A validation/benchmark knob: rates, completions, and byte counters
     /// are bit-identical in both modes (the equivalence suite asserts so);
     /// only the work per event differs.
     pub fn set_full_resolve(&mut self, on: bool) {
         self.full_resolve = on;
+    }
+
+    /// Bulk advances with more than `threshold` due completions are
+    /// sharded across components (`usize::MAX` disables sharding, `0`
+    /// shards every non-empty bulk advance). Output is bit-identical at
+    /// any threshold; this only tunes work distribution.
+    pub fn set_shard_threshold(&mut self, threshold: usize) {
+        self.shard_threshold = threshold;
+    }
+
+    /// Solver work counters (see [`SolveStats`]).
+    pub fn solve_stats(&self) -> SolveStats {
+        self.stats
     }
 
     /// Current internal clock (last `advance_to` or flow start).
@@ -224,7 +422,7 @@ impl SimNet {
 
     /// Number of in-flight flows.
     pub fn active_flow_count(&self) -> usize {
-        self.flows.len()
+        self.n_live
     }
 
     /// Start a unit-weight flow of `bytes` over the directed `path` at
@@ -263,6 +461,7 @@ impl SimNet {
             earliest_finish: now + prop,
             tag,
             finish_at: SimTime::MAX,
+            touched: self.clock,
             epoch: 0,
             seen: 0,
         };
@@ -274,8 +473,7 @@ impl SimNet {
             // Nothing to serialize (or nothing constraining it): the
             // completion estimate is final right now.
             f.finish_at = f.earliest_finish;
-            self.epochs += 1;
-            f.epoch = self.epochs;
+            f.epoch += 1;
             self.heap.push(Reverse((f.finish_at, id, f.epoch)));
         }
         if !path.is_empty() {
@@ -284,7 +482,7 @@ impl SimNet {
             }
             self.mark_dirty_path(path);
         }
-        self.flows.insert(id, f);
+        self.put_flow(id, f);
         self.tracer.flow_start(now, id.0, tag, bytes, path.len());
         id
     }
@@ -300,23 +498,44 @@ impl SimNet {
     /// that actually finished.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<Flow> {
         self.progress_to(now);
-        let drained = match self.flows.get(&id) {
+        let clock = self.clock;
+        let drained = match self.flows.get_mut(id.0 as usize).and_then(Option::as_mut) {
             None => return None,
-            Some(f) => f.remaining_bytes <= 0.0 && !f.path.is_empty(),
+            Some(f) => {
+                // A cancel is a touch point: accrue before deciding.
+                materialize(f, id, clock, &mut self.cum_bytes, &mut self.heap, slot);
+                f.remaining_bytes <= 0.0 && !f.path.is_empty()
+            }
         };
         if drained {
             return None;
         }
-        let f = self.flows.remove(&id).expect("flow looked up just above");
+        let f = self.take_flow(id).expect("flow looked up just above");
         self.unlink(id, &f.path);
         self.mark_dirty_path(&f.path);
         self.tracer.flow_abort(now, id.0, "cancelled");
         Some(f)
     }
 
-    /// Inspect an active flow.
+    /// Inspect an active flow. `remaining_bytes` on the result is as of
+    /// the flow's last materialization — use [`SimNet::flow_remaining`]
+    /// for the value at the current clock.
     pub fn flow(&self, id: FlowId) -> Option<&Flow> {
-        self.flows.get(&id)
+        self.flows.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Bytes a live flow still has to serialize at the current clock
+    /// (pure: stored progress plus the pending in-flight window).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        let f = self.flow(id)?;
+        if f.rate_bps.is_infinite() && self.clock > f.touched {
+            return Some(0.0);
+        }
+        let mut rem = f.remaining_bytes - pending_consumed(f, self.clock);
+        if rem < 1e-6 {
+            rem = 0.0;
+        }
+        Some(rem)
     }
 
     /// The time of the earliest flow completion, or `None` when idle.
@@ -327,14 +546,14 @@ impl SimNet {
     pub fn next_event_time(&mut self) -> Option<SimTime> {
         self.solve_if_dirty();
         while let Some(&Reverse((t, id, ep))) = self.heap.peek() {
-            match self.flows.get(&id) {
+            match self.flow(id) {
                 Some(f) if f.epoch == ep => return Some(t.max(self.clock)),
                 _ => {
                     self.heap.pop();
                 }
             }
         }
-        if self.flows.is_empty() {
+        if self.n_live == 0 {
             None
         } else {
             // Every remaining flow is starved (rate 0 on a dead link).
@@ -342,40 +561,45 @@ impl SimNet {
         }
     }
 
-    /// Advance the clock to `now`, accruing flow progress, and return the
-    /// flows that completed (in completion-then-id order).
+    /// Advance the clock to `now` and return the flows that completed
+    /// (in completion-then-id order).
+    ///
+    /// Small batches run the sequential loop: pop the earliest valid heap
+    /// entry, materialize and remove the flow, re-solve its component
+    /// (completions change rates, which changes later completions within
+    /// the same window), repeat. Batches above the shard threshold are
+    /// dispatched per connected component to rayon workers and merged
+    /// deterministically — bit-identical to the sequential loop.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<(FlowId, Flow)> {
         assert!(now >= self.clock, "SimNet clock must be monotone");
+        if !self.full_resolve && self.shard_threshold != usize::MAX {
+            if let Some(done) = self.advance_sharded(now) {
+                return done;
+            }
+        }
         let mut done = Vec::new();
-        // Completions change rates, which changes later completions within
-        // the same window — each pop triggers a (component-scoped)
-        // re-solve before the next is accepted.
         loop {
             self.solve_if_dirty();
             let Some((t, id)) = self.peek_valid() else {
-                self.progress_to(now);
                 break;
             };
             if t > now {
-                self.progress_to(now);
                 break;
             }
-            // Accrue up to the candidate first: the accrual may drain
-            // another flow whose last bit lands even earlier, so re-check
-            // the front before committing.
-            self.progress_to(t);
-            match self.peek_valid() {
-                Some((t2, id2)) if (t2, id2) == (t, id) => {
-                    self.heap.pop();
-                    let mut f = self.flows.remove(&id).expect("front flow is live");
-                    self.unlink(id, &f.path);
-                    self.mark_dirty_path(&f.path);
-                    f.remaining_bytes = 0.0;
-                    done.push((id, f));
-                }
-                _ => continue,
-            }
+            self.heap.pop();
+            // A cascade re-solve can finalize a drained flow at an
+            // arrival instant slightly before the previous completion's
+            // clock; the engine clock never moves backwards.
+            self.clock = self.clock.max(t);
+            let clock = self.clock;
+            let mut f = self.take_flow(id).expect("front flow is live");
+            materialize(&mut f, id, clock, &mut self.cum_bytes, &mut self.heap, slot);
+            self.unlink(id, &f.path);
+            self.mark_dirty_path(&f.path);
+            f.remaining_bytes = 0.0;
+            done.push((id, f));
         }
+        self.progress_to(now);
         done
     }
 
@@ -428,12 +652,19 @@ impl SimNet {
     /// Cumulative bytes delivered over a link since simulation start,
     /// both directions (monotone; models a switch hardware counter).
     pub fn cumulative_bytes(&self, l: LinkId) -> f64 {
-        self.cum_bytes[l.idx() * 2] + self.cum_bytes[l.idx() * 2 + 1]
+        self.cumulative_bytes_dir(l, false) + self.cumulative_bytes_dir(l, true)
     }
 
-    /// Cumulative bytes for one direction of a link.
+    /// Cumulative bytes for one direction of a link: the materialized
+    /// counter plus each crossing flow's pending in-flight window,
+    /// accumulated in ascending flow-id order (pure, deterministic).
     pub fn cumulative_bytes_dir(&self, l: LinkId, forward: bool) -> f64 {
-        self.cum_bytes[l.idx() * 2 + forward as usize]
+        let s = l.idx() * 2 + forward as usize;
+        let mut total = self.cum_bytes[s];
+        for &fid in &self.incidence[s] {
+            total += pending_consumed(self.flow_ref(fid), self.clock);
+        }
+        total
     }
 
     /// Link capacities (bits/s), after any fault scaling.
@@ -453,9 +684,12 @@ impl SimNet {
     /// Set a link's capacity to `factor` of nominal at time `now` (a
     /// fault when `factor < 1`, a recovery when it returns to `1.0`).
     ///
-    /// Surviving flows are re-rated max-min fairly at the next query —
-    /// this is the one event that forces a *full* re-solve (a capacity
-    /// change shifts bottlenecks globally, not just in one component).
+    /// Surviving flows are re-rated max-min fairly at the next query.
+    /// The re-solve is **component-scoped**: a capacity change can only
+    /// move bottlenecks among flows transitively sharing a link with the
+    /// scaled one (the max-min allocation decomposes across connected
+    /// components, DESIGN.md §9), so untouched components keep their
+    /// rates, estimates, and epochs bit-for-bit.
     /// When `factor` is zero the link is dead: every flow crossing it
     /// (either direction) is aborted and returned, with its progress
     /// accrued up to `now`, so the caller can retry over another route.
@@ -472,10 +706,15 @@ impl SimNet {
         self.capacities[l.idx()] = cap;
         self.dir_caps[l.idx() * 2] = cap;
         self.dir_caps[l.idx() * 2 + 1] = cap;
-        self.dirty = Dirty::Full;
+        // Seed both directions: the scoped BFS pulls in exactly the
+        // component(s) whose allocation the new capacity can affect.
+        self.dirty = true;
+        self.seed_slots.push(l.idx() * 2);
+        self.seed_slots.push(l.idx() * 2 + 1);
         let crossing = || {
             self.flows
-                .values()
+                .iter()
+                .flatten()
                 .filter(|f| f.path.iter().any(|&(fl, _)| fl == l))
                 .count()
         };
@@ -486,11 +725,15 @@ impl SimNet {
             }
             return Vec::new();
         }
+        // Slab order is ascending-id order, which is what the abort list
+        // and cum-byte accrual order (both observable) must follow.
         let doomed: Vec<FlowId> = self
             .flows
             .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (i, f)))
             .filter(|(_, f)| f.path.iter().any(|&(fl, _)| fl == l))
-            .map(|(&id, _)| id)
+            .map(|(i, _)| FlowId(i as u64))
             .collect();
         if self.tracer.is_enabled() {
             self.tracer
@@ -499,11 +742,15 @@ impl SimNet {
                 self.tracer.flow_abort(now, id.0, "link_dead");
             }
         }
+        let clock = self.clock;
         doomed
             .into_iter()
             .map(|id| {
-                let f = self.flows.remove(&id).expect("doomed flow present");
+                let mut f = self.take_flow(id).expect("doomed flow present");
+                // An abort is a touch point: hand back accrued progress.
+                materialize(&mut f, id, clock, &mut self.cum_bytes, &mut self.heap, slot);
                 self.unlink(id, &f.path);
+                self.mark_dirty_path(&f.path);
                 (id, f)
             })
             .collect()
@@ -513,15 +760,45 @@ impl SimNet {
     // Incremental engine internals
     // ------------------------------------------------------------------
 
+    /// Live flow by id; panics if it is gone (use where an invariant —
+    /// e.g. membership in an incidence list — guarantees liveness).
+    #[inline]
+    fn flow_ref(&self, id: FlowId) -> &Flow {
+        self.flows[id.0 as usize]
+            .as_ref()
+            .expect("id names a live flow")
+    }
+
+    /// Remove and return a live flow, freeing its slot.
+    #[inline]
+    fn take_flow(&mut self, id: FlowId) -> Option<Flow> {
+        let f = self.flows.get_mut(id.0 as usize).and_then(Option::take);
+        if f.is_some() {
+            self.n_live -= 1;
+        }
+        f
+    }
+
+    /// (Re-)install a flow in its id slot.
+    #[inline]
+    fn put_flow(&mut self, id: FlowId, f: Flow) {
+        let s = id.0 as usize;
+        if s >= self.flows.len() {
+            self.flows.resize_with(s + 1, || None);
+        }
+        debug_assert!(self.flows[s].is_none(), "flow slot double-filled");
+        self.flows[s] = Some(f);
+        self.n_live += 1;
+    }
+
     /// Record that a flow over `path` was added or removed: its directed
     /// slots seed the next component-scoped re-solve.
     fn mark_dirty_path(&mut self, path: &[DirLink]) {
-        if path.is_empty() || self.dirty == Dirty::Full {
-            // Empty paths never contend for bandwidth; a full re-solve
-            // already covers everything.
+        if path.is_empty() {
+            // Empty paths never contend for bandwidth.
             return;
         }
-        self.dirty = Dirty::Scoped;
+        self.dirty = true;
         for &d in path {
             self.seed_slots.push(slot(d));
         }
@@ -542,7 +819,7 @@ impl SimNet {
     /// Earliest valid heap entry, discarding stale ones on the way.
     fn peek_valid(&mut self) -> Option<(SimTime, FlowId)> {
         while let Some(&Reverse((t, id, ep))) = self.heap.peek() {
-            match self.flows.get(&id) {
+            match self.flow(id) {
                 Some(f) if f.epoch == ep => return Some((t, id)),
                 _ => {
                     self.heap.pop();
@@ -552,80 +829,33 @@ impl SimNet {
         None
     }
 
-    /// Completion estimate for a *serializing* flow at `clock` (callers
-    /// handle the drained and starved cases).
-    fn serial_estimate(clock: SimTime, f: &Flow) -> SimTime {
-        if f.rate_bps.is_infinite() {
-            return f.earliest_finish;
-        }
-        // simlint::allow(float-eq, 0.0 is an exact assigned sentinel for starved flows, never computed)
-        if f.rate_bps == 0.0 {
-            return SimTime::MAX;
-        }
-        let secs = f.remaining_bytes * 8.0 / f.rate_bps;
-        let ser = clock + SimSpan::from_secs_f64(secs).saturating_add(SimSpan::from_nanos(1));
-        (ser + f.prop).max(f.earliest_finish)
-    }
-
-    /// Install a freshly solved rate on `f`. The completion estimate (and
-    /// its heap entry) is refreshed only when the rate *value* changed:
-    /// under an unchanged rate the estimate is invariant (progress accrues
-    /// at exactly that rate), so keeping the stored one avoids rounding
-    /// drift — the property that makes incremental and from-scratch
-    /// solving bit-identical.
-    fn assign_rate(
-        f: &mut Flow,
-        id: FlowId,
-        rate: f64,
-        clock: SimTime,
-        heap: &mut BinaryHeap<HeapEntry>,
-        epochs: &mut u64,
-    ) {
-        if rate.to_bits() == f.rate_bps.to_bits() {
-            return;
-        }
-        f.rate_bps = rate;
-        if f.remaining_bytes <= 0.0 {
-            // Drained: completion waits only on propagation; the rate no
-            // longer matters for the estimate.
-            return;
-        }
-        let finish = Self::serial_estimate(clock, f);
-        if finish != f.finish_at {
-            f.finish_at = finish;
-            *epochs += 1;
-            f.epoch = *epochs;
-            if finish < SimTime::MAX {
-                heap.push(Reverse((finish, id, f.epoch)));
-            }
-        }
-    }
-
     /// Re-solve whatever subset of the rate state is out of date.
     fn solve_if_dirty(&mut self) {
-        match self.dirty {
-            Dirty::Clean => return,
-            Dirty::Full => self.solve_full(),
-            Dirty::Scoped => {
-                if self.full_resolve {
-                    self.solve_full();
-                } else {
-                    self.solve_scoped();
-                }
-            }
+        if !self.dirty {
+            return;
         }
-        self.dirty = Dirty::Clean;
+        if self.full_resolve {
+            self.solve_full();
+        } else {
+            self.solve_scoped();
+        }
+        self.dirty = false;
         self.seed_slots.clear();
     }
 
-    /// Global re-solve: every flow, every carried link.
+    /// Global re-solve: every flow, every carried link (reference mode).
     fn solve_full(&mut self) {
+        self.stats.full_solves += 1;
         let scratch = &mut self.scratch;
         scratch.flat.clear();
         scratch.spans.clear();
         scratch.ids.clear();
-        for (&id, f) in &self.flows {
-            scratch.ids.push(id);
+        // Slab iteration is ascending-id order, so per-link weight sums
+        // accumulate exactly as the scoped path (and the reference
+        // solver) would.
+        for (i, f) in self.flows.iter().enumerate() {
+            let Some(f) = f.as_ref() else { continue };
+            scratch.ids.push(FlowId(i as u64));
             scratch.spans.push(FlowSpan {
                 start: scratch.flat.len() as u32,
                 len: f.path.len() as u32,
@@ -633,15 +863,15 @@ impl SimNet {
             });
             scratch.flat.extend(f.path.iter().map(|&d| slot(d)));
         }
+        self.stats.flows_rated += scratch.ids.len() as u64;
         let rates = self.ws.solve(&self.dir_caps, &scratch.flat, &scratch.spans);
         for r in self.link_rate.iter_mut() {
             *r = 0.0;
         }
         let clock = self.clock;
         for (i, &id) in scratch.ids.iter().enumerate() {
-            let f = self
-                .flows
-                .get_mut(&id)
+            let f = self.flows[id.0 as usize]
+                .as_mut()
                 .expect("solved flow is still present");
             let rate = rates[i];
             if rate.is_finite() {
@@ -649,7 +879,10 @@ impl SimNet {
                     self.link_rate[slot(d)] += rate;
                 }
             }
-            Self::assign_rate(f, id, rate, clock, &mut self.heap, &mut self.epochs);
+            if rate.to_bits() != f.rate_bps.to_bits() {
+                materialize(f, id, clock, &mut self.cum_bytes, &mut self.heap, slot);
+                assign_rate(f, id, rate, clock, &mut self.heap);
+            }
         }
     }
 
@@ -657,32 +890,274 @@ impl SimNet {
     /// from the seed slots, then solve only the reached flows. Flows on
     /// disjoint links keep their rates — sound because the weighted
     /// max-min allocation is unique and decomposes across connected
-    /// components (DESIGN.md §9).
+    /// components (DESIGN.md §9). The aggregate tier settles
+    /// single-bottleneck components in one round; only congested
+    /// components hand off to the exact water-filling solver.
     fn solve_scoped(&mut self) {
         self.visit_gen += 1;
         let gen = self.visit_gen;
+        // Solve each connected component of the dirty region on its own.
+        // DESIGN.md §9's union-decomposition makes this bitwise identical
+        // to solving the union in one system — and it keeps the exact
+        // solver's cost proportional to the largest touched component:
+        // water-filling freezes one bottleneck link per round, so a union
+        // of k disjoint components costs ~k× the rounds of its parts.
+        // Per-component systems are also exactly what the one-round
+        // aggregate tier can settle.
+        for si in 0..self.seed_slots.len() {
+            let seed = self.seed_slots[si];
+            if self.scratch.link_stamp[seed] == gen {
+                // Already covered by an earlier seed's component.
+                continue;
+            }
+            self.stats.scoped_solves += 1;
+            let scratch = &mut self.scratch;
+            scratch.queue.clear();
+            scratch.comp_links.clear();
+            scratch.ids.clear();
+            scratch.link_stamp[seed] = gen;
+            scratch.queue.push(seed);
+            while let Some(s) = scratch.queue.pop() {
+                scratch.comp_links.push(s);
+                for &fid in &self.incidence[s] {
+                    let f = self.flows[fid.0 as usize]
+                        .as_mut()
+                        .expect("incidence names a live flow");
+                    if f.seen == gen {
+                        continue;
+                    }
+                    f.seen = gen;
+                    scratch.ids.push(fid);
+                    for &d in &f.path {
+                        let sl = slot(d);
+                        if scratch.link_stamp[sl] != gen {
+                            scratch.link_stamp[sl] = gen;
+                            scratch.queue.push(sl);
+                        }
+                    }
+                }
+            }
+            // Ascending-id order so per-link weight sums accumulate in
+            // exactly the order a full solve would use (float addition
+            // order matters for bit-identity).
+            scratch.ids.sort_unstable();
+            scratch.flat.clear();
+            scratch.spans.clear();
+            for &id in &scratch.ids {
+                let f = self.flows[id.0 as usize]
+                    .as_ref()
+                    .expect("scoped flow is live");
+                scratch.spans.push(FlowSpan {
+                    start: scratch.flat.len() as u32,
+                    len: f.path.len() as u32,
+                    weight: f.weight,
+                });
+                scratch.flat.extend(f.path.iter().map(|&d| slot(d)));
+            }
+            self.stats.flows_rated += scratch.ids.len() as u64;
+            let rates: &[f64] =
+                match self
+                    .agg
+                    .try_solve(&self.dir_caps, &scratch.flat, &scratch.spans)
+                {
+                    Some(r) => {
+                        self.stats.aggregate_solves += 1;
+                        r
+                    }
+                    None => self.ws.solve(&self.dir_caps, &scratch.flat, &scratch.spans),
+                };
+            for &s in &scratch.comp_links {
+                self.link_rate[s] = 0.0;
+            }
+            let clock = self.clock;
+            for (i, &id) in scratch.ids.iter().enumerate() {
+                let f = self.flows[id.0 as usize]
+                    .as_mut()
+                    .expect("solved flow is still present");
+                let rate = rates[i];
+                if rate.is_finite() {
+                    for &d in &f.path {
+                        self.link_rate[slot(d)] += rate;
+                    }
+                }
+                if rate.to_bits() != f.rate_bps.to_bits() {
+                    materialize(f, id, clock, &mut self.cum_bytes, &mut self.heap, slot);
+                    assign_rate(f, id, rate, clock, &mut self.heap);
+                }
+            }
+        }
+    }
+
+    /// Advance the clock to `t`. Under lazy accrual no per-flow work is
+    /// needed: pending windows are carried by each flow's `touched` stamp.
+    fn progress_to(&mut self, t: SimTime) {
+        if t <= self.clock {
+            return;
+        }
+        // Rates for the window starting at the old clock must be solved
+        // *at* the old clock before it moves.
+        self.solve_if_dirty();
+        self.clock = t;
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded bulk advance (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// Sharded bulk advance: returns `None` when the number of due
+    /// completions is at or below the shard threshold (caller falls back
+    /// to the sequential loop).
+    fn advance_sharded(&mut self, now: SimTime) -> Option<Vec<(FlowId, Flow)>> {
+        self.solve_if_dirty();
+        // Collect every valid completion entry due in (clock, now]. Each
+        // live flow has at most one valid entry, so `pending` has unique
+        // flow ids. The entries themselves are discarded after counting —
+        // flow state carries the truth, and shard-local heaps are rebuilt
+        // from it — but below the threshold they are simply re-pushed.
+        let mut pending: Vec<(SimTime, FlowId, u64)> = Vec::new();
+        while let Some(&Reverse((t, id, ep))) = self.heap.peek() {
+            match self.flow(id) {
+                Some(f) if f.epoch == ep => {
+                    if t > now {
+                        break;
+                    }
+                    self.heap.pop();
+                    pending.push((t, id, ep));
+                }
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        if pending.len() <= self.shard_threshold {
+            for &(t, id, ep) in &pending {
+                self.heap.push(Reverse((t, id, ep)));
+            }
+            return None;
+        }
+        self.stats.sharded_batches += 1;
+
+        // Group due flows by connected component. Components only split
+        // (never merge) during an advance — no flow starts — so a shard
+        // extracted here stays closed under link sharing for the whole
+        // window.
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        let mut locals: Vec<(SimTime, FlowId, Flow)> = Vec::new();
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        let mut comp_flows: Vec<FlowId> = Vec::new();
+        let mut comp_slots: Vec<usize> = Vec::new();
+        for &(t, id, _ep) in &pending {
+            // Already swept into an earlier component's shard (extraction
+            // removes component flows from the map).
+            let Some(f) = self.flow(id) else { continue };
+            if f.path.is_empty() {
+                // Local copy: no links, no interactions — completes as a
+                // singleton merge participant.
+                let mut f = self.take_flow(id).expect("pending flow is live");
+                f.remaining_bytes = 0.0;
+                locals.push((t, id, f));
+                continue;
+            }
+            self.collect_component(id, gen, &mut comp_flows, &mut comp_slots);
+            tasks.push(self.extract_shard(&comp_flows, &comp_slots));
+        }
+        self.stats.shards_run += tasks.len() as u64;
+
+        let outcomes: Vec<_> = tasks.into_par_iter().map(|t| run_shard(t, now)).collect();
+
+        // Merge back: write slot state, re-insert survivors (re-keying
+        // only flows whose epoch moved in-shard), then emit completions
+        // via a deterministic k-way merge on each list's head
+        // `(SimTime, FlowId)` — exactly the order the sequential loop's
+        // global heap would pop, since a component's next pop key is
+        // always the head of its own trace.
+        let mut lists: Vec<Vec<(SimTime, FlowId, Flow)>> = Vec::with_capacity(outcomes.len() + 1);
+        for o in outcomes {
+            self.stats.shard_solves += o.solves;
+            self.stats.aggregate_solves += o.aggregate_solves;
+            let t = o.task;
+            for (k, &s) in t.slots.iter().enumerate() {
+                self.cum_bytes[s] = t.cum[k];
+                self.link_rate[s] = t.rate[k];
+            }
+            for (i, f) in t.flows.into_iter().enumerate() {
+                let id = t.ids[i];
+                if let Some(f) = f {
+                    if f.epoch != t.pre_epoch[i] && f.finish_at < SimTime::MAX {
+                        self.heap.push(Reverse((f.finish_at, id, f.epoch)));
+                    }
+                    self.put_flow(id, f);
+                }
+            }
+            lists.push(o.done);
+        }
+        locals.sort_unstable_by_key(|a| (a.0, a.1));
+        lists.push(locals);
+
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut iters: Vec<std::vec::IntoIter<(SimTime, FlowId, Flow)>> =
+            lists.into_iter().map(Vec::into_iter).collect();
+        let mut heads: Vec<Option<(SimTime, FlowId, Flow)>> =
+            iters.iter_mut().map(Iterator::next).collect();
+        let mut merge: BinaryHeap<Reverse<(SimTime, FlowId, usize)>> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(li, h)| h.as_ref().map(|&(t, id, _)| Reverse((t, id, li))))
+            .collect();
+        let mut done = Vec::with_capacity(total);
+        while let Some(Reverse((_, _, li))) = merge.pop() {
+            let (_, id, f) = heads[li].take().expect("merge head present");
+            heads[li] = iters[li].next();
+            if let Some(&(t2, id2, _)) = heads[li].as_ref() {
+                merge.push(Reverse((t2, id2, li)));
+            }
+            self.unlink(id, &f.path);
+            done.push((id, f));
+        }
+        self.clock = now;
+        debug_assert!(!self.dirty, "shards leave rates clean");
+        Some(done)
+    }
+
+    /// BFS the connected component containing `root` into `comp_flows` /
+    /// `comp_slots` (both sorted ascending on return).
+    fn collect_component(
+        &mut self,
+        root: FlowId,
+        gen: u64,
+        comp_flows: &mut Vec<FlowId>,
+        comp_slots: &mut Vec<usize>,
+    ) {
+        comp_flows.clear();
+        comp_slots.clear();
         let scratch = &mut self.scratch;
         scratch.queue.clear();
-        scratch.comp_links.clear();
-        scratch.ids.clear();
-        for &s in &self.seed_slots {
-            if scratch.link_stamp[s] != gen {
-                scratch.link_stamp[s] = gen;
-                scratch.queue.push(s);
+        {
+            let f = self.flows[root.0 as usize]
+                .as_mut()
+                .expect("pending flow is live");
+            f.seen = gen;
+            comp_flows.push(root);
+            for &d in &f.path {
+                let sl = slot(d);
+                if scratch.link_stamp[sl] != gen {
+                    scratch.link_stamp[sl] = gen;
+                    scratch.queue.push(sl);
+                }
             }
         }
         while let Some(s) = scratch.queue.pop() {
-            scratch.comp_links.push(s);
+            comp_slots.push(s);
             for &fid in &self.incidence[s] {
-                let f = self
-                    .flows
-                    .get_mut(&fid)
+                let f = self.flows[fid.0 as usize]
+                    .as_mut()
                     .expect("incidence names a live flow");
                 if f.seen == gen {
                     continue;
                 }
                 f.seen = gen;
-                scratch.ids.push(fid);
+                comp_flows.push(fid);
                 for &d in &f.path {
                     let sl = slot(d);
                     if scratch.link_stamp[sl] != gen {
@@ -692,82 +1167,31 @@ impl SimNet {
                 }
             }
         }
-        // Ascending-id order so per-link weight sums accumulate in exactly
-        // the order a full solve would use (float addition order matters
-        // for bit-identity).
-        scratch.ids.sort_unstable();
-        scratch.flat.clear();
-        scratch.spans.clear();
-        for &id in &scratch.ids {
-            let f = &self.flows[&id];
-            scratch.spans.push(FlowSpan {
-                start: scratch.flat.len() as u32,
-                len: f.path.len() as u32,
-                weight: f.weight,
-            });
-            scratch.flat.extend(f.path.iter().map(|&d| slot(d)));
-        }
-        let rates = self.ws.solve(&self.dir_caps, &scratch.flat, &scratch.spans);
-        for &s in &scratch.comp_links {
-            self.link_rate[s] = 0.0;
-        }
-        let clock = self.clock;
-        for (i, &id) in scratch.ids.iter().enumerate() {
-            let f = self
-                .flows
-                .get_mut(&id)
-                .expect("solved flow is still present");
-            let rate = rates[i];
-            if rate.is_finite() {
-                for &d in &f.path {
-                    self.link_rate[slot(d)] += rate;
-                }
-            }
-            Self::assign_rate(f, id, rate, clock, &mut self.heap, &mut self.epochs);
-        }
+        comp_flows.sort_unstable();
+        comp_slots.sort_unstable();
     }
 
-    /// Accrue progress for all flows up to `t` (no completions handled).
-    fn progress_to(&mut self, t: SimTime) {
-        if t <= self.clock {
-            return;
+    /// Move a component's flows and slot state out into an owned shard
+    /// task. Slot arrays are packed in ascending global-slot order so the
+    /// local index order preserves the solver's global tie-breaks.
+    fn extract_shard(&mut self, comp_flows: &[FlowId], comp_slots: &[usize]) -> ShardTask {
+        let mut flows = Vec::with_capacity(comp_flows.len());
+        let mut pre_epoch = Vec::with_capacity(comp_flows.len());
+        for &fid in comp_flows {
+            let f = self.take_flow(fid).expect("component flow is live");
+            pre_epoch.push(f.epoch);
+            flows.push(Some(f));
         }
-        self.solve_if_dirty();
-        let dt = (t - self.clock).as_secs_f64();
-        let clock = self.clock;
-        let heap = &mut self.heap;
-        let epochs = &mut self.epochs;
-        for (&id, f) in self.flows.iter_mut() {
-            if f.rate_bps > 0.0 && f.rate_bps.is_finite() && f.remaining_bytes > 0.0 {
-                let bytes = f.rate_bps / 8.0 * dt;
-                let consumed = bytes.min(f.remaining_bytes);
-                // If the flow drains inside this window, record the last
-                // bit's arrival time (drain instant + propagation).
-                if consumed >= f.remaining_bytes {
-                    let drain_secs = f.remaining_bytes * 8.0 / f.rate_bps;
-                    let drained_at = clock + SimSpan::from_secs_f64(drain_secs);
-                    f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
-                }
-                f.remaining_bytes -= consumed;
-                if f.remaining_bytes < 1e-6 {
-                    f.remaining_bytes = 0.0;
-                }
-                for &d in &f.path {
-                    self.cum_bytes[slot(d)] += consumed;
-                }
-                if f.remaining_bytes <= 0.0 && f.finish_at != f.earliest_finish {
-                    // Drain transition: the estimate is final now.
-                    f.finish_at = f.earliest_finish;
-                    *epochs += 1;
-                    f.epoch = *epochs;
-                    heap.push(Reverse((f.finish_at, id, f.epoch)));
-                }
-            } else if f.rate_bps.is_infinite() {
-                // Empty-path flow: delivered instantly, no link bytes.
-                f.remaining_bytes = 0.0;
-            }
+        ShardTask {
+            clock: self.clock,
+            ids: comp_flows.to_vec(),
+            flows,
+            pre_epoch,
+            slots: comp_slots.to_vec(),
+            caps: comp_slots.iter().map(|&s| self.dir_caps[s]).collect(),
+            cum: comp_slots.iter().map(|&s| self.cum_bytes[s]).collect(),
+            rate: comp_slots.iter().map(|&s| self.link_rate[s]).collect(),
         }
-        self.clock = t;
     }
 }
 
@@ -793,6 +1217,22 @@ mod tests {
         let l0 = b.add_link(g0, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
         let l1 = b.add_link(g1, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
         (b.build(), vec![g0, g1, s], vec![l0, l1])
+    }
+
+    /// `n` isolated two-link clusters (GPU→switch→GPU), one link pair per
+    /// cluster — disjoint components by construction.
+    fn clusters(n: usize) -> (Graph, Vec<[LinkId; 2]>) {
+        let mut b = GraphBuilder::new();
+        let mut links = Vec::with_capacity(n);
+        for i in 0..n {
+            let g0 = b.add_gpu(ServerId((2 * i) as u32), 0, GpuSpec::a100_40g());
+            let g1 = b.add_gpu(ServerId((2 * i + 1) as u32), 0, GpuSpec::a100_40g());
+            let s = b.add_access_switch(true, "s");
+            let l0 = b.add_link(g0, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+            let l1 = b.add_link(g1, s, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+            links.push([l0, l1]);
+        }
+        (b.build(), links)
     }
 
     #[test]
@@ -892,7 +1332,7 @@ mod tests {
         // Move to a point strictly between drain and arrival.
         let between = SimTime::from_micros(81);
         assert!(net.advance_to(between).is_empty());
-        assert_eq!(net.flow(id).unwrap().remaining_bytes, 0.0);
+        assert_eq!(net.flow_remaining(id), Some(0.0));
         // The cancel is refused: all bytes were delivered.
         assert!(net.cancel_flow(between, id).is_none());
         // ... and the completion still arrives on time.
@@ -1015,9 +1455,9 @@ mod tests {
     }
 
     /// The incremental engine and a forced full re-solve must agree bit
-    /// for bit on a scenario that exercises scoped solves, completions,
-    /// cancels, and a fault (`tests/equivalence.rs` covers arbitrary
-    /// sequences; this is the in-crate smoke version).
+    /// for bit on a scenario that exercises scoped solves, the aggregate
+    /// tier, completions, cancels, and a fault (`tests/equivalence.rs`
+    /// covers arbitrary sequences; this is the in-crate smoke version).
     #[test]
     fn incremental_matches_full_resolve_bitwise() {
         let run = |full: bool| {
@@ -1042,6 +1482,123 @@ mod tests {
             (log, bytes, net.active_flow_count())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Satellite regression: `set_link_scale` must re-solve only the
+    /// scaled link's component. The survivor cluster keeps its rate and
+    /// epoch untouched, and the work counter proves no other flows were
+    /// rated.
+    #[test]
+    fn link_scale_resolve_is_component_scoped() {
+        let (g, links) = clusters(3);
+        let mut net = SimNet::new(&g);
+        // Two flows contending in cluster 0, one lone flow per other
+        // cluster.
+        net.start_flow(SimTime::ZERO, &fwd(&[links[0][0]]), 10_000_000, 0);
+        net.start_flow(SimTime::ZERO, &fwd(&[links[0][0]]), 10_000_000, 1);
+        let b = net.start_flow(SimTime::ZERO, &fwd(&[links[1][0]]), 10_000_000, 2);
+        let c = net.start_flow(SimTime::ZERO, &fwd(&[links[2][1]]), 10_000_000, 3);
+        net.next_event_time();
+        let before_b = {
+            let f = net.flow(b).unwrap();
+            (f.rate_bps.to_bits(), f.epoch, f.finish_at)
+        };
+        let before_c = {
+            let f = net.flow(c).unwrap();
+            (f.rate_bps.to_bits(), f.epoch, f.finish_at)
+        };
+        let rated_before = net.solve_stats().flows_rated;
+        // Degrade cluster 0's shared link; clusters 1 and 2 must not even
+        // be visited by the re-solve.
+        net.set_link_scale(SimTime::from_micros(10), links[0][0], 0.5);
+        net.next_event_time();
+        let after_b = {
+            let f = net.flow(b).unwrap();
+            (f.rate_bps.to_bits(), f.epoch, f.finish_at)
+        };
+        let after_c = {
+            let f = net.flow(c).unwrap();
+            (f.rate_bps.to_bits(), f.epoch, f.finish_at)
+        };
+        assert_eq!(before_b, after_b);
+        assert_eq!(before_c, after_c);
+        assert_eq!(
+            net.solve_stats().flows_rated - rated_before,
+            2,
+            "only cluster 0's two flows may be re-rated"
+        );
+    }
+
+    /// Single-bottleneck components settle in the aggregate tier; a
+    /// component where a second link saturates hands off to the exact
+    /// solver. Both paths agree with full-resolve bitwise (asserted by
+    /// `incremental_matches_full_resolve_bitwise` and the equivalence
+    /// suite); this pins that the fast path actually engages.
+    #[test]
+    fn aggregate_tier_engages_and_hands_off() {
+        let (g, _, links) = line();
+        let mut net = SimNet::new(&g);
+        // Two flows on one link: single bottleneck -> aggregate tier.
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 1_000_000, 0);
+        net.start_flow(SimTime::ZERO, &fwd(&links[..1]), 2_000_000, 1);
+        net.next_event_time();
+        let s = net.solve_stats();
+        assert_eq!(
+            s.scoped_solves, s.aggregate_solves,
+            "uncongested: one round"
+        );
+        assert!(s.aggregate_solves > 0);
+        // Degrade l1 and pile flows on it so the two-link path saturates
+        // both links at different shares -> exact-solver handoff.
+        net.set_link_scale(SimTime::from_micros(1), links[1], 0.3);
+        net.start_flow(SimTime::from_micros(1), &fwd(&links), 4_000_000, 2);
+        net.start_flow(SimTime::from_micros(1), &fwd(&links[1..]), 4_000_000, 3);
+        net.next_event_time();
+        let s = net.solve_stats();
+        assert!(
+            s.scoped_solves > s.aggregate_solves,
+            "congested component must hand off to the exact solver: {s:?}"
+        );
+    }
+
+    /// The sharded bulk advance must produce exactly the sequential
+    /// loop's completions, byte counters, and survivor state.
+    #[test]
+    fn sharded_advance_matches_sequential_bitwise() {
+        let run = |threshold: usize| {
+            let (g, links) = clusters(8);
+            let mut net = SimNet::new(&g);
+            net.set_shard_threshold(threshold);
+            // Staggered contending flows per cluster plus a local copy.
+            for (ci, pair) in links.iter().enumerate() {
+                for k in 0..4u64 {
+                    let path = if k % 2 == 0 {
+                        fwd(&pair[..])
+                    } else {
+                        fwd(&pair[..1])
+                    };
+                    net.start_flow(
+                        SimTime::from_nanos(100 * k),
+                        &path,
+                        500_000 + 37_000 * k + 11_000 * ci as u64,
+                        (ci as u64) << 8 | k,
+                    );
+                }
+            }
+            net.start_flow(SimTime::from_nanos(50), &[], 1_000, 9999);
+            let done = net.advance_to(SimTime::from_millis(10));
+            let order: Vec<(u64, u64)> = done.iter().map(|(id, f)| (id.0, f.tag)).collect();
+            let bytes: Vec<u64> = links
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|&l| net.cumulative_bytes(l).to_bits())
+                .collect();
+            (order, bytes, net.active_flow_count())
+        };
+        let sharded = run(0); // shard every bulk advance
+        let sequential = run(usize::MAX); // never shard
+        assert_eq!(sharded, sequential);
+        assert_eq!(sharded.0.len(), 33);
     }
 
     #[test]

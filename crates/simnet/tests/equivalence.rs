@@ -1,27 +1,38 @@
 //! Incremental-engine equivalence suite.
 //!
 //! `SimNet` maintains fair-share rates incrementally: component-scoped
-//! re-solves through a persistent workspace plus a lazily-invalidated
-//! completion heap (DESIGN.md §9). The claim that buys is strong —
-//! **bit-identical** behaviour to solving from scratch and scanning every
-//! flow at every event. This suite enforces the claim three ways:
+//! re-solves through a persistent workspace, a one-round aggregate tier
+//! for single-bottleneck components, a lazily-invalidated completion
+//! heap, and sharded bulk advances (DESIGN.md §9/§12). The claim that
+//! buys is strong — **bit-identical** behaviour to a from-scratch global
+//! solve at every externally observable point. This suite enforces the
+//! claim four ways:
 //!
-//! 1. `RefNet`, an independent reference simulator written the obvious
-//!    way (global [`compute_rates`] solve per change, linear scans for
-//!    completions, no incidence/heap/workspace state), is driven through
-//!    arbitrary event sequences next to `SimNet`, asserting identical
-//!    clocks, rates (bitwise), remaining bytes (bitwise), completion
-//!    estimates, completion order, and cumulative per-direction link
-//!    bytes after every operation.
-//! 2. The same harness also drives a `SimNet` with
+//! 1. `RefNet`, an independent reference simulator (global
+//!    [`compute_rates`] solve per change, linear scans for completions,
+//!    no incidence/heap/workspace state), is driven through arbitrary
+//!    event sequences next to `SimNet`, asserting identical clocks,
+//!    rates (bitwise), remaining bytes (bitwise), completion estimates,
+//!    completion order, and cumulative per-direction link bytes after
+//!    every operation.
+//! 2. The same harness drives a `SimNet` with
 //!    [`SimNet::set_full_resolve`] enabled, pinning that the scoped and
 //!    global solve paths of the production engine agree with each other.
-//! 3. A long fixed-seed pseudo-random run (2000 ops) covers depths the
-//!    proptest case budget does not reach.
+//! 3. A third production engine runs with the shard threshold forced to
+//!    zero, so *every* bulk advance goes through component extraction,
+//!    rayon workers, and the `(SimTime, FlowId)` k-way merge.
+//! 4. A long fixed-seed pseudo-random run (2000 ops) covers depths the
+//!    proptest case budget does not reach, and a dedicated congestion
+//!    -onset proptest pins the aggregate-tier → exact-solver handoff.
 //!
-//! Both simulators share one canonical completion-estimate rule: the
-//! estimate is fixed when a flow's rate changes (or it drains) and never
-//! recomputed in between — see `assign_rate` in `net.rs`.
+//! All simulators share one canonical contract: the completion estimate
+//! is fixed when a flow's rate changes (or it drains) and never
+//! recomputed in between, and progress accrues **lazily** — a flow's
+//! stored bytes are materialized only at rate-change / cancel / abort /
+//! completion touch points, with queries adding the pending in-flight
+//! window purely. Touch points land at identical instants in every mode
+//! (rates are bitwise equal), so the float operation sequences are
+//! identical — which is exactly what the bitwise assertions verify.
 
 use hs_des::{SimSpan, SimTime};
 use hs_simnet::fairshare::{compute_rates, FlowDemand};
@@ -60,12 +71,15 @@ fn star() -> (Graph, Vec<LinkId>) {
 
 struct RFlow {
     path: Vec<DirLink>,
+    /// Bytes left as of `touched` (lazy accrual, same contract as the
+    /// production engine — see module docs).
     remaining: f64,
     rate: f64,
     weight: f64,
     prop: SimSpan,
     earliest_finish: SimTime,
     finish_at: SimTime,
+    touched: SimTime,
     tag: u64,
 }
 
@@ -82,6 +96,49 @@ struct RefNet {
 
 fn rslot(d: DirLink) -> usize {
     d.0.idx() * 2 + d.1 as usize
+}
+
+/// Pending in-flight bytes of `f` over `(touched, clock]` — the pure
+/// mirror of `materialize`'s consumption arithmetic.
+fn pending(f: &RFlow, clock: SimTime) -> f64 {
+    if clock > f.touched && f.rate > 0.0 && f.rate.is_finite() && f.remaining > 0.0 {
+        let dt = (clock - f.touched).as_secs_f64();
+        (f.rate / 8.0 * dt).min(f.remaining)
+    } else {
+        0.0
+    }
+}
+
+/// Accrue `f`'s progress up to `clock` (rate-change / cancel / abort /
+/// completion touch points only).
+fn materialize(f: &mut RFlow, clock: SimTime, cum: &mut [f64]) {
+    if clock <= f.touched {
+        return;
+    }
+    let base = f.touched;
+    f.touched = clock;
+    if f.rate > 0.0 && f.rate.is_finite() && f.remaining > 0.0 {
+        let dt = (clock - base).as_secs_f64();
+        let bytes = f.rate / 8.0 * dt;
+        let consumed = bytes.min(f.remaining);
+        if consumed >= f.remaining {
+            let drain_secs = f.remaining * 8.0 / f.rate;
+            let drained_at = base + SimSpan::from_secs_f64(drain_secs);
+            f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
+        }
+        f.remaining -= consumed;
+        if f.remaining < 1e-6 {
+            f.remaining = 0.0;
+        }
+        for &d in &f.path {
+            cum[rslot(d)] += consumed;
+        }
+        if f.remaining <= 0.0 {
+            f.finish_at = f.earliest_finish;
+        }
+    } else if f.rate.is_infinite() {
+        f.remaining = 0.0;
+    }
 }
 
 impl RefNet {
@@ -113,8 +170,9 @@ impl RefNet {
         (ser + f.prop).max(f.earliest_finish)
     }
 
-    /// Global from-scratch solve with the canonical estimate rule: the
-    /// stored estimate is refreshed only when the rate value changes.
+    /// Global from-scratch solve with the canonical estimate rule: a
+    /// flow is materialized and its estimate refreshed only when its
+    /// rate *value* changes.
     fn solve(&mut self) {
         if !self.dirty {
             return;
@@ -144,6 +202,7 @@ impl RefNet {
             if rate.to_bits() == f.rate.to_bits() {
                 continue;
             }
+            materialize(f, clock, &mut self.cum);
             f.rate = rate;
             if f.remaining > 0.0 {
                 f.finish_at = Self::serial_estimate(clock, f);
@@ -151,36 +210,13 @@ impl RefNet {
         }
     }
 
+    /// Move the clock: under lazy accrual there is no per-flow work, but
+    /// rates for the elapsed window must be solved at its start.
     fn progress_to(&mut self, t: SimTime) {
         if t <= self.clock {
             return;
         }
         self.solve();
-        let dt = (t - self.clock).as_secs_f64();
-        let clock = self.clock;
-        for f in self.flows.values_mut() {
-            if f.rate > 0.0 && f.rate.is_finite() && f.remaining > 0.0 {
-                let bytes = f.rate / 8.0 * dt;
-                let consumed = bytes.min(f.remaining);
-                if consumed >= f.remaining {
-                    let drain_secs = f.remaining * 8.0 / f.rate;
-                    let drained_at = clock + SimSpan::from_secs_f64(drain_secs);
-                    f.earliest_finish = f.earliest_finish.max(drained_at + f.prop);
-                }
-                f.remaining -= consumed;
-                if f.remaining < 1e-6 {
-                    f.remaining = 0.0;
-                }
-                for &d in &f.path {
-                    self.cum[rslot(d)] += consumed;
-                }
-                if f.remaining <= 0.0 {
-                    f.finish_at = f.earliest_finish;
-                }
-            } else if f.rate.is_infinite() {
-                f.remaining = 0.0;
-            }
-        }
         self.clock = t;
     }
 
@@ -205,6 +241,7 @@ impl RefNet {
             prop,
             earliest_finish: now + prop,
             finish_at: SimTime::MAX,
+            touched: self.clock,
             tag,
         };
         if path.is_empty() {
@@ -222,9 +259,13 @@ impl RefNet {
 
     fn cancel_flow(&mut self, now: SimTime, id: u64) -> bool {
         self.progress_to(now);
-        let drained = match self.flows.get(&id) {
+        let clock = self.clock;
+        let drained = match self.flows.get_mut(&id) {
             None => return false,
-            Some(f) => f.remaining <= 0.0 && !f.path.is_empty(),
+            Some(f) => {
+                materialize(f, clock, &mut self.cum);
+                f.remaining <= 0.0 && !f.path.is_empty()
+            }
         };
         if drained {
             return false;
@@ -247,8 +288,10 @@ impl RefNet {
             .filter(|(_, f)| f.path.iter().any(|&(fl, _)| fl == l))
             .map(|(&id, _)| id)
             .collect();
+        let clock = self.clock;
         for id in &doomed {
-            self.flows.remove(id);
+            let mut f = self.flows.remove(id).expect("doomed flow present");
+            materialize(&mut f, clock, &mut self.cum);
         }
         doomed
     }
@@ -268,28 +311,56 @@ impl RefNet {
         loop {
             self.solve();
             let front = self.flows.iter().map(|(&id, f)| (f.finish_at, id)).min();
-            let Some((t, id)) = front else {
-                self.progress_to(now);
-                break;
-            };
+            let Some((t, id)) = front else { break };
             if t > now {
-                self.progress_to(now);
                 break;
             }
-            self.progress_to(t);
-            let front2 = self.flows.iter().map(|(&id, f)| (f.finish_at, id)).min();
-            if front2 == Some((t, id)) {
-                let f = self.flows.remove(&id).expect("front flow is live");
-                done.push((id, f.tag));
-                self.dirty = true;
+            // A cascade solve can finalize a drained flow retroactively;
+            // the clock never moves backwards.
+            self.clock = self.clock.max(t);
+            let clock = self.clock;
+            let mut f = self.flows.remove(&id).expect("front flow is live");
+            materialize(&mut f, clock, &mut self.cum);
+            done.push((id, f.tag));
+            self.dirty = true;
+        }
+        self.progress_to(now);
+        done
+    }
+
+    /// Pure remaining-bytes view at the current clock (mirror of
+    /// [`SimNet::flow_remaining`]).
+    fn flow_remaining(&self, id: u64) -> Option<f64> {
+        let f = self.flows.get(&id)?;
+        if f.rate.is_infinite() && self.clock > f.touched {
+            return Some(0.0);
+        }
+        let mut rem = f.remaining - pending(f, self.clock);
+        if rem < 1e-6 {
+            rem = 0.0;
+        }
+        Some(rem)
+    }
+
+    /// Pure cumulative-bytes view: materialized counter plus every
+    /// crossing flow's pending window in ascending flow-id order (the
+    /// same summation order the production engine's incidence lists
+    /// give).
+    fn cumulative_bytes_dir(&self, l: LinkId, fwd: bool) -> f64 {
+        let s = l.idx() * 2 + fwd as usize;
+        let mut total = self.cum[s];
+        for f in self.flows.values() {
+            if f.path.iter().any(|&d| rslot(d) == s) {
+                total += pending(f, self.clock);
             }
         }
-        done
+        total
     }
 }
 
 // ---------------------------------------------------------------------
-// Harness driving RefNet + SimNet (scoped) + SimNet (full) in lock-step
+// Harness driving RefNet + SimNet (scoped) + SimNet (full) + SimNet
+// (force-sharded) in lock-step
 // ---------------------------------------------------------------------
 
 /// One step of a scenario, decoded from an integer tuple (the vendored
@@ -337,12 +408,16 @@ struct Harness {
     refnet: RefNet,
     inc: SimNet,
     full: SimNet,
+    /// Production engine with shard threshold 0: every bulk advance goes
+    /// through shard extraction + the deterministic k-way merge.
+    sharded: SimNet,
     issued: Vec<u64>,
     now: SimTime,
     /// Completion log (id, tag) per net, appended in delivery order.
     done_ref: Vec<(u64, u64)>,
     done_inc: Vec<(u64, u64)>,
     done_full: Vec<(u64, u64)>,
+    done_sharded: Vec<(u64, u64)>,
 }
 
 impl Harness {
@@ -352,16 +427,20 @@ impl Harness {
         let inc = SimNet::new(&g);
         let mut full = SimNet::new(&g);
         full.set_full_resolve(true);
+        let mut sharded = SimNet::new(&g);
+        sharded.set_shard_threshold(0);
         Harness {
             links,
             refnet,
             inc,
             full,
+            sharded,
             issued: Vec::new(),
             now: SimTime::ZERO,
             done_ref: Vec::new(),
             done_inc: Vec::new(),
             done_full: Vec::new(),
+            done_sharded: Vec::new(),
         }
     }
 
@@ -385,14 +464,10 @@ impl Harness {
                 let rid = self
                     .refnet
                     .start_weighted_flow(self.now, &path, bytes, w, bytes);
-                let iid = self
-                    .inc
-                    .start_weighted_flow(self.now, &path, bytes, w, bytes);
-                let fid = self
-                    .full
-                    .start_weighted_flow(self.now, &path, bytes, w, bytes);
-                assert_eq!(rid, iid.0);
-                assert_eq!(rid, fid.0);
+                for net in [&mut self.inc, &mut self.full, &mut self.sharded] {
+                    let id = net.start_weighted_flow(self.now, &path, bytes, w, bytes);
+                    assert_eq!(rid, id.0);
+                }
                 self.issued.push(rid);
             }
             Op::Advance { dt_us } => {
@@ -405,38 +480,33 @@ impl Harness {
                 }
                 let id = self.issued[k % self.issued.len()];
                 let r = self.refnet.cancel_flow(self.now, id);
-                let i = self
-                    .inc
-                    .cancel_flow(self.now, hs_simnet::FlowId(id))
-                    .is_some();
-                let f = self
-                    .full
-                    .cancel_flow(self.now, hs_simnet::FlowId(id))
-                    .is_some();
-                assert_eq!(r, i, "cancel({id}) outcome diverged (incremental)");
-                assert_eq!(r, f, "cancel({id}) outcome diverged (full)");
+                for (label, net) in [
+                    ("incremental", &mut self.inc),
+                    ("full", &mut self.full),
+                    ("sharded", &mut self.sharded),
+                ] {
+                    let got = net.cancel_flow(self.now, hs_simnet::FlowId(id)).is_some();
+                    assert_eq!(r, got, "cancel({id}) outcome diverged ({label})");
+                }
             }
             Op::Scale { l, q } => {
                 let link = self.links[l % N_LINKS];
                 let factor = [0.0, 0.25, 0.5, 1.0][q % 4];
                 let mut r = self.refnet.set_link_scale(self.now, link, factor);
-                let mut i: Vec<u64> = self
-                    .inc
-                    .set_link_scale(self.now, link, factor)
-                    .into_iter()
-                    .map(|(id, _)| id.0)
-                    .collect();
-                let mut f: Vec<u64> = self
-                    .full
-                    .set_link_scale(self.now, link, factor)
-                    .into_iter()
-                    .map(|(id, _)| id.0)
-                    .collect();
                 r.sort_unstable();
-                i.sort_unstable();
-                f.sort_unstable();
-                assert_eq!(r, i, "aborted set diverged (incremental)");
-                assert_eq!(r, f, "aborted set diverged (full)");
+                for (label, net) in [
+                    ("incremental", &mut self.inc),
+                    ("full", &mut self.full),
+                    ("sharded", &mut self.sharded),
+                ] {
+                    let mut got: Vec<u64> = net
+                        .set_link_scale(self.now, link, factor)
+                        .into_iter()
+                        .map(|(id, _)| id.0)
+                        .collect();
+                    got.sort_unstable();
+                    assert_eq!(r, got, "aborted set diverged ({label})");
+                }
             }
             Op::AdvanceToNext => {
                 let next = self.refnet.next_event_time();
@@ -466,54 +536,61 @@ impl Harness {
                 .into_iter()
                 .map(|(id, f)| (id.0, f.tag)),
         );
+        self.done_sharded.extend(
+            self.sharded
+                .advance_to(t)
+                .into_iter()
+                .map(|(id, f)| (id.0, f.tag)),
+        );
     }
 
-    /// Full bitwise state comparison across the three simulators.
+    /// Full bitwise state comparison across the four simulators.
     fn check(&mut self) {
         assert_eq!(self.done_ref, self.done_inc, "completion log (incremental)");
         assert_eq!(self.done_ref, self.done_full, "completion log (full)");
+        assert_eq!(self.done_ref, self.done_sharded, "completion log (sharded)");
         let nref = self.refnet.next_event_time();
-        let ninc = self.inc.next_event_time();
-        let nfull = self.full.next_event_time();
-        assert_eq!(nref, ninc, "next_event_time (incremental)");
-        assert_eq!(nref, nfull, "next_event_time (full)");
-        assert_eq!(self.refnet.flows.len(), self.inc.active_flow_count());
-        assert_eq!(self.refnet.flows.len(), self.full.active_flow_count());
-        for &id in &self.issued {
-            let r = self.refnet.flows.get(&id);
-            let i = self.inc.flow(hs_simnet::FlowId(id));
-            let f = self.full.flow(hs_simnet::FlowId(id));
-            assert_eq!(r.is_some(), i.is_some(), "liveness of flow {id}");
-            assert_eq!(r.is_some(), f.is_some(), "liveness of flow {id}");
-            let Some(r) = r else { continue };
-            for (label, s) in [("incremental", i), ("full", f)] {
-                let s = s.expect("liveness checked above");
+        assert_eq!(nref, self.inc.next_event_time(), "next_event (incremental)");
+        assert_eq!(nref, self.full.next_event_time(), "next_event (full)");
+        assert_eq!(nref, self.sharded.next_event_time(), "next_event (sharded)");
+        for (label, net) in [
+            ("incremental", &self.inc),
+            ("full", &self.full),
+            ("sharded", &self.sharded),
+        ] {
+            assert_eq!(
+                self.refnet.flows.len(),
+                net.active_flow_count(),
+                "flow count ({label})"
+            );
+            for &id in &self.issued {
+                let r = self.refnet.flows.get(&id);
+                let s = net.flow(hs_simnet::FlowId(id));
+                assert_eq!(r.is_some(), s.is_some(), "liveness of flow {id} ({label})");
+                let (Some(r), Some(s)) = (r, s) else { continue };
                 assert_eq!(
                     r.rate.to_bits(),
                     s.rate_bps.to_bits(),
                     "rate of flow {id} ({label})"
                 );
+                let r_rem = self.refnet.flow_remaining(id).expect("live");
+                let s_rem = net.flow_remaining(hs_simnet::FlowId(id)).expect("live");
                 assert_eq!(
-                    r.remaining.to_bits(),
-                    s.remaining_bytes.to_bits(),
+                    r_rem.to_bits(),
+                    s_rem.to_bits(),
                     "remaining of flow {id} ({label})"
                 );
                 assert_eq!(r.finish_at, s.finish_at(), "finish of flow {id} ({label})");
             }
-        }
-        for (li, &l) in self.links.iter().enumerate() {
-            for fwd in [false, true] {
-                let r = self.refnet.cum[l.idx() * 2 + fwd as usize];
-                assert_eq!(
-                    r.to_bits(),
-                    self.inc.cumulative_bytes_dir(l, fwd).to_bits(),
-                    "cum bytes link {li} fwd={fwd} (incremental)"
-                );
-                assert_eq!(
-                    r.to_bits(),
-                    self.full.cumulative_bytes_dir(l, fwd).to_bits(),
-                    "cum bytes link {li} fwd={fwd} (full)"
-                );
+            for (li, &l) in self.links.iter().enumerate() {
+                for fwd in [false, true] {
+                    let r = self.refnet.cumulative_bytes_dir(l, fwd);
+                    assert_eq!(
+                        r.to_bits(),
+                        net.cumulative_bytes_dir(l, fwd).to_bits(),
+                        "cum bytes link {li} fwd={fwd} ({label})"
+                    );
+                }
             }
         }
     }
@@ -555,6 +632,55 @@ fn fixed_scenario_equivalence() {
     h.apply(decode((1, 0, 299, 0)));
 }
 
+/// Fixed aggregate→exact handoff scenario: a single-bottleneck phase
+/// (settled by the one-round aggregate tier), then a congestion onset
+/// where a degraded second link saturates (exact-solver handoff), then
+/// recovery back to the fast path — equal to the reference throughout.
+#[test]
+fn aggregate_handoff_fixed_scenario() {
+    let mut h = Harness::new();
+    // Phase 1: three flows share link 0 only — one bottleneck.
+    for bytes in [2_000_000u64, 3_000_000, 4_000_000] {
+        h.apply(Op::Start {
+            link_mask: 0b0000_0001,
+            dir_mask: 0xff,
+            bytes,
+            weight_q: 0,
+        });
+    }
+    h.apply(Op::Advance { dt_us: 50 });
+    let before = h.inc.solve_stats();
+    assert!(before.aggregate_solves > 0, "fast path engaged: {before:?}");
+    // Phase 2: degrade link 1 to 25% and route flows across links 0+1 —
+    // both links saturate at different shares, forcing handoff.
+    h.apply(Op::Scale { l: 1, q: 1 });
+    h.apply(Op::Start {
+        link_mask: 0b0000_0011,
+        dir_mask: 0xff,
+        bytes: 4_000_000,
+        weight_q: 1,
+    });
+    h.apply(Op::Start {
+        link_mask: 0b0000_0010,
+        dir_mask: 0xff,
+        bytes: 4_000_000,
+        weight_q: 0,
+    });
+    h.apply(Op::Advance { dt_us: 80 });
+    let mid = h.inc.solve_stats();
+    assert!(
+        mid.scoped_solves - mid.aggregate_solves > before.scoped_solves - before.aggregate_solves,
+        "congestion onset must hand off to the exact solver: {mid:?}"
+    );
+    // Phase 3: recovery and drain — equivalence holds at every step (the
+    // harness checks after each op).
+    h.apply(Op::Scale { l: 1, q: 3 });
+    for _ in 0..6 {
+        h.apply(Op::AdvanceToNext);
+    }
+    h.apply(Op::Advance { dt_us: 299 });
+}
+
 /// Long fixed-seed pseudo-random run (xorshift, no OS entropy): depth the
 /// proptest case budget cannot reach, still fully deterministic.
 #[test]
@@ -582,7 +708,8 @@ proptest! {
     /// ISSUE 5 acceptance property: arbitrary add/cancel/advance/scale
     /// sequences produce identical rates, completion order, and
     /// cumulative link bytes through the incremental engine, the
-    /// forced-full-resolve engine, and the from-scratch reference.
+    /// forced-full-resolve engine, the force-sharded engine, and the
+    /// from-scratch reference.
     #[test]
     fn arbitrary_sequences_are_bit_identical(
         raw_ops in proptest::collection::vec(
@@ -595,6 +722,53 @@ proptest! {
             h.apply(decode(raw));
         }
         // Settle: everything still live must complete identically too.
+        for _ in 0..4 {
+            h.apply(Op::AdvanceToNext);
+            h.apply(Op::Advance { dt_us: 299 });
+        }
+    }
+
+    /// ISSUE 7 acceptance property: the aggregate-tier → exact-solver
+    /// handoff is bit-transparent at *random congestion onsets*. An
+    /// uncongested single-bottleneck phase runs on the fast path, then a
+    /// randomly timed and sized degradation of a second shared link
+    /// forces (for low factors) the exact solver — state must match the
+    /// reference before, across, and after the onset.
+    #[test]
+    fn aggregate_handoff_at_random_congestion_onset(
+        onset_us in 1u64..200,
+        factor_q in 0usize..3,
+        n_flows in 2usize..6,
+        bytes in 200_000u64..4_000_000,
+        extra_us in 1u64..250,
+    ) {
+        let mut h = Harness::new();
+        // Uncongested: n flows share link 0 only (single bottleneck,
+        // aggregate tier) plus one crossing links 0+1 (link 1 at full
+        // capacity stays unsaturated: 40G vs the 100G bottleneck share).
+        for k in 0..n_flows {
+            h.apply(Op::Start {
+                link_mask: 0b0000_0001,
+                dir_mask: 0xff,
+                bytes: bytes + 10_000 * k as u64,
+                weight_q: (k % 3) as u8,
+            });
+        }
+        h.apply(Op::Start {
+            link_mask: 0b0000_0011,
+            dir_mask: 0xff,
+            bytes,
+            weight_q: 0,
+        });
+        h.apply(Op::Advance { dt_us: onset_us });
+        prop_assert!(h.inc.solve_stats().aggregate_solves > 0);
+        // Congestion onset: link 1 drops to 0/25/50 % — for any factor
+        // low enough the two-link flow's share pins link 1 as a second
+        // bottleneck and the scoped solve hands off to the exact path.
+        h.apply(Op::Scale { l: 1, q: factor_q });
+        h.apply(Op::Advance { dt_us: extra_us });
+        // Recovery and drain.
+        h.apply(Op::Scale { l: 1, q: 3 });
         for _ in 0..4 {
             h.apply(Op::AdvanceToNext);
             h.apply(Op::Advance { dt_us: 299 });

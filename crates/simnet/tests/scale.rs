@@ -19,6 +19,7 @@
 use hs_des::{SimSpan, SimTime};
 use hs_simnet::SimNet;
 use hs_topology::builders::{xtracks, XTracksConfig};
+use hs_topology::graph::{bandwidth, GpuSpec, GraphBuilder, LinkKind, ServerId};
 use hs_topology::routing::shortest_path;
 use hs_topology::LinkWeight;
 
@@ -116,5 +117,100 @@ fn ten_thousand_flows_on_xtracks() {
     assert!(
         elapsed.as_secs_f64() < 60.0,
         "10k-flow run took {elapsed:?}; incremental engine has regressed"
+    );
+}
+
+/// Sharded-scale stress (DESIGN.md §12): 32k flows over 1024 independent
+/// two-GPU clusters, drained in bulk `advance_to` windows large enough to
+/// take the sharded path, then compared bit-for-bit against the same run
+/// on the never-sharded sequential engine. Pins, at a scale the
+/// equivalence proptests cannot reach:
+///
+/// * the deterministic `(SimTime, FlowId)` k-way merge equals the
+///   sequential global-heap pop order exactly (trace and byte bits);
+/// * every component actually went through a shard worker
+///   (`shards_run`/`sharded_batches` counters);
+/// * liveness and a generous wall bound.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only throughput stress")]
+fn sharded_bulk_advance_matches_sequential_at_scale() {
+    const CLUSTERS: u32 = 1024;
+    const FLOWS_PER_CLUSTER: u64 = 32;
+    let wall = std::time::Instant::now();
+
+    let run = |threshold: usize| {
+        let mut b = GraphBuilder::new();
+        let mut links = Vec::new();
+        for i in 0..CLUSTERS {
+            let g0 = b.add_gpu(ServerId(2 * i), 0, GpuSpec::a100_40g());
+            let g1 = b.add_gpu(ServerId(2 * i + 1), 0, GpuSpec::a100_40g());
+            let sw = b.add_access_switch(true, "s");
+            let l0 = b.add_link(g0, sw, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+            let l1 = b.add_link(g1, sw, LinkKind::Ethernet, bandwidth::ETH_100G, 1_000);
+            links.push([l0, l1]);
+        }
+        let graph = b.build();
+        let mut net = SimNet::new(&graph);
+        net.set_shard_threshold(threshold);
+        for (ci, pair) in links.iter().enumerate() {
+            for k in 0..FLOWS_PER_CLUSTER {
+                // Alternate two-hop and one-hop paths so components mix
+                // aggregate-tier and exact-solver re-solves in-shard.
+                let path: Vec<_> = if k % 2 == 0 {
+                    pair.iter().map(|&l| (l, true)).collect()
+                } else {
+                    vec![(pair[0], true)]
+                };
+                net.start_flow(
+                    SimTime::from_nanos(211 * k + 17 * ci as u64),
+                    &path,
+                    300_000 + 41_000 * k + 5_000 * ci as u64,
+                    ((ci as u64) << 8) | k,
+                );
+            }
+        }
+        // Two bulk windows: a mid-run cut (shards hand back live flows)
+        // and a drain-everything cut.
+        let mut trace: Vec<(u64, u64)> = Vec::new();
+        for cut in [SimTime::from_millis(1), SimTime::from_secs(10)] {
+            trace.extend(net.advance_to(cut).iter().map(|(id, f)| (id.0, f.tag)));
+        }
+        let bytes: Vec<u64> = links
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|&l| net.cumulative_bytes(l).to_bits())
+            .collect();
+        (trace, bytes, net.active_flow_count(), net.solve_stats())
+    };
+
+    let (seq_trace, seq_bytes, seq_live, seq_stats) = run(usize::MAX);
+    let (sh_trace, sh_bytes, sh_live, sh_stats) = run(0);
+
+    assert_eq!(
+        seq_trace.len() as u64,
+        u64::from(CLUSTERS) * FLOWS_PER_CLUSTER,
+        "every flow must complete"
+    );
+    assert_eq!(seq_live, 0);
+    assert_eq!(
+        sh_trace, seq_trace,
+        "sharded merge diverged from sequential"
+    );
+    assert_eq!(sh_bytes, seq_bytes, "per-link byte bits diverged");
+    assert_eq!(sh_live, seq_live);
+    assert_eq!(seq_stats.sharded_batches, 0, "threshold MAX must not shard");
+    assert!(
+        sh_stats.sharded_batches >= 2,
+        "both bulk windows should shard: {sh_stats:?}"
+    );
+    assert!(
+        sh_stats.shards_run >= u64::from(CLUSTERS),
+        "every cluster is an independent component: {sh_stats:?}"
+    );
+
+    let elapsed = wall.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 120.0,
+        "32k-flow sharded run took {elapsed:?}; bulk path has regressed"
     );
 }

@@ -7,6 +7,14 @@
 //! everything on the calling thread, so `into_par_iter()` hands back the
 //! ordinary iterator and `join` runs its closures back to back.
 
+/// Number of worker threads in the (here: nonexistent) global pool.
+/// The real crate reports its thread count; the sequential stand-in is
+/// always a pool of one. Callers use this to skip parallel-only work
+/// (e.g. shard extraction that cannot pay off on a single thread).
+pub fn current_num_threads() -> usize {
+    1
+}
+
 /// Run both closures and return their results. Sequential: `a` then `b`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
