@@ -1,0 +1,179 @@
+//! Elastic pool control: the engine-side half of autoscaling.
+//!
+//! The engine owns a fixed fleet of instances (the GPU *budget*); an
+//! attached [`ScaleController`] decides, at every monitor tick, how many
+//! of each pool should be **Active**. The engine applies targets by
+//! flipping per-instance [`PoolState`] flags rather than mutating the
+//! instance/KV vectors — index invariants (prefill `0..decode_offset`,
+//! `kv[i]` ↔ decode instance `decode_offset + i`) never change, so every
+//! other subsystem is oblivious to elasticity.
+//!
+//! Shrinking is graceful (DESIGN.md §13): a *Draining* instance accepts
+//! no new work but finishes what it holds — a prefill instance completes
+//! its in-flight batch, a decode instance keeps generating for its live
+//! requests (and for admissions whose KV is still in the air) until its
+//! KV reservation drops to zero. Only then does it *Park*, stopping its
+//! GPU-seconds clock. Growing re-activates instances in the reverse
+//! order (cancel drains first — they are instantly useful — then unpark).
+//!
+//! The controller itself (signal windows, hysteresis, planner re-solves)
+//! lives in `heroserve`; this module defines only the engine contract.
+
+use hs_des::SimTime;
+
+/// Elasticity state of one instance. Orthogonal to
+/// [`InstPhase`](crate::instance::InstPhase), which tracks the compute /
+/// communicate cycle within an iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolState {
+    /// In the pool: receives new batches / admissions.
+    Active,
+    /// Winding down: no new work, finishes in-flight work, then parks.
+    Draining,
+    /// Out of the pool: holds no state, burns no GPU-hours.
+    Parked,
+}
+
+/// Desired Active-instance counts per pool. The engine clamps each to
+/// `[1, pool size]` — a pool can never scale to zero (a serving system
+/// with no prefill or no decode capacity deadlocks every request).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolTargets {
+    /// Desired Active prefill instances.
+    pub prefill: usize,
+    /// Desired Active decode instances.
+    pub decode: usize,
+}
+
+/// What the engine shows the controller at each monitor tick.
+///
+/// Counters are cumulative since `t = 0` — the controller differences
+/// consecutive snapshots to get windowed rates, so the engine never has
+/// to guess the controller's window length.
+#[derive(Clone, Debug)]
+pub struct PoolSnapshot {
+    /// Snapshot time.
+    pub now: SimTime,
+    /// Requests arrived so far (cumulative).
+    pub arrived: u64,
+    /// Requests fully completed so far (cumulative).
+    pub done: u64,
+    /// Completed requests that met both SLAs (cumulative).
+    pub done_sla_ok: u64,
+    /// Requests waiting for a prefill slot right now.
+    pub prefill_queue: usize,
+    /// Requests waiting for decode KV capacity right now.
+    pub pending_admission: usize,
+    /// Active prefill instances.
+    pub prefill_active: usize,
+    /// Draining prefill instances.
+    pub prefill_draining: usize,
+    /// Parked prefill instances.
+    pub prefill_parked: usize,
+    /// Active decode instances.
+    pub decode_active: usize,
+    /// Draining decode instances.
+    pub decode_draining: usize,
+    /// Parked decode instances.
+    pub decode_parked: usize,
+    /// Mean KV *reservation* utilization over Active decode instances,
+    /// `[0, 1]` — admission pressure, the signal that leads memory
+    /// exhaustion rather than lagging it.
+    pub kv_pressure: f64,
+}
+
+impl PoolSnapshot {
+    /// Total prefill instances in the budget.
+    pub fn prefill_total(&self) -> usize {
+        self.prefill_active + self.prefill_draining + self.prefill_parked
+    }
+
+    /// Total decode instances in the budget.
+    pub fn decode_total(&self) -> usize {
+        self.decode_active + self.decode_draining + self.decode_parked
+    }
+}
+
+/// A pool-sizing policy driven by the engine's monitor ticks.
+///
+/// Implementations must be deterministic functions of the snapshot
+/// sequence (no wall clock, no unseeded randomness) — the determinism
+/// harness runs elastic simulations bit-for-bit across repeats.
+pub trait ScaleController {
+    /// Called once before the run starts, with the full per-pool budget.
+    /// The returned targets set the initial Active counts (instances
+    /// beyond them start Parked and contribute zero GPU-seconds).
+    fn initial_targets(&mut self, prefill_slots: usize, decode_slots: usize) -> PoolTargets;
+
+    /// Called at every monitor tick. Return `Some` to request new
+    /// targets, `None` to leave the pools alone.
+    fn on_tick(&mut self, snapshot: &PoolSnapshot) -> Option<PoolTargets>;
+
+    /// Controller name for reports and traces.
+    fn name(&self) -> &str;
+}
+
+/// A controller that pins both pools at fixed sizes — the *static
+/// capacity* baseline every elastic sweep compares against.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticController {
+    /// Active prefill instances for the whole run.
+    pub prefill: usize,
+    /// Active decode instances for the whole run.
+    pub decode: usize,
+}
+
+impl ScaleController for StaticController {
+    fn initial_targets(&mut self, _prefill_slots: usize, _decode_slots: usize) -> PoolTargets {
+        PoolTargets {
+            prefill: self.prefill,
+            decode: self.decode,
+        }
+    }
+
+    fn on_tick(&mut self, _snapshot: &PoolSnapshot) -> Option<PoolTargets> {
+        None
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_controller_never_moves() {
+        let mut c = StaticController {
+            prefill: 2,
+            decode: 3,
+        };
+        assert_eq!(
+            c.initial_targets(4, 4),
+            PoolTargets {
+                prefill: 2,
+                decode: 3
+            }
+        );
+        let snap = PoolSnapshot {
+            now: SimTime::from_secs(1),
+            arrived: 100,
+            done: 50,
+            done_sla_ok: 40,
+            prefill_queue: 30,
+            pending_admission: 5,
+            prefill_active: 2,
+            prefill_draining: 0,
+            prefill_parked: 2,
+            decode_active: 3,
+            decode_draining: 0,
+            decode_parked: 1,
+            kv_pressure: 0.9,
+        };
+        assert_eq!(c.on_tick(&snap), None);
+        assert_eq!(snap.prefill_total(), 4);
+        assert_eq!(snap.decode_total(), 4);
+    }
+}

@@ -6,6 +6,7 @@
 //! monitor ticks), network flow completions, and the per-iteration
 //! communication state machines of [`hs_collective`].
 
+use crate::autoscale::{PoolSnapshot, PoolState, PoolTargets, ScaleController};
 use crate::batching::{form_prefill_batch, BatchPolicy};
 use crate::instance::{InstPhase, Instance, InstanceKind, InstanceSpec};
 use crate::kvcache::KvManager;
@@ -188,6 +189,10 @@ struct ObsIds {
     kv_transfers: hs_obs::CounterId,
     kv_retries: hs_obs::CounterId,
     kv_deferrals: hs_obs::CounterId,
+    scale_ups: hs_obs::CounterId,
+    scale_downs: hs_obs::CounterId,
+    prefill_active: hs_obs::GaugeId,
+    decode_active: hs_obs::GaugeId,
     ttft: hs_obs::HistogramId,
     tpot: hs_obs::HistogramId,
     kv_transfer_s: hs_obs::HistogramId,
@@ -204,6 +209,10 @@ impl ObsIds {
             kv_transfers: m.counter("kv_transfers_launched"),
             kv_retries: m.counter("kv_transfer_retries"),
             kv_deferrals: m.counter("kv_admission_deferrals"),
+            scale_ups: m.counter("autoscale_ups"),
+            scale_downs: m.counter("autoscale_downs"),
+            prefill_active: m.gauge("prefill_active_instances"),
+            decode_active: m.gauge("decode_active_instances"),
             ttft: m.histogram("ttft_s", &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0]),
             tpot: m.histogram("tpot_s", &[0.01, 0.025, 0.05, 0.1, 0.15, 0.3, 1.0]),
             kv_transfer_s: m.histogram(
@@ -267,6 +276,18 @@ pub struct ClusterSim {
     kv_transfer_secs: Vec<f64>,
     /// |estimate − realized| per completed shipment, seconds.
     kv_est_err_secs: Vec<f64>,
+    // --- autoscaling ---------------------------------------------------
+    /// Pool controller, if any (taken/put back around on_tick so the
+    /// controller may inspect the engine through its snapshot only).
+    autoscaler: Option<Box<dyn ScaleController>>,
+    /// Cumulative arrivals (PoolSnapshot counter).
+    arrived_count: u64,
+    /// Cumulative completions (PoolSnapshot counter).
+    done_total: u64,
+    /// Cumulative completions meeting both SLAs (PoolSnapshot counter).
+    done_ok: u64,
+    scale_ups: u64,
+    scale_downs: u64,
     // --- observability ------------------------------------------------
     tracer: hs_obs::Tracer,
     metrics: hs_obs::MetricsRegistry,
@@ -393,6 +414,12 @@ impl ClusterSim {
             kv_bytes_total: 0,
             kv_transfer_secs: Vec::new(),
             kv_est_err_secs: Vec::new(),
+            autoscaler: None,
+            arrived_count: 0,
+            done_total: 0,
+            done_ok: 0,
+            scale_ups: 0,
+            scale_downs: 0,
             tracer: hs_obs::Tracer::noop(),
             metrics: hs_obs::MetricsRegistry::disabled(),
             obs: ObsIds::register(&hs_obs::MetricsRegistry::disabled()),
@@ -409,6 +436,19 @@ impl ClusterSim {
         self.obs = ObsIds::register(metrics);
         self.net.set_tracer(tracer);
         self.strategy.attach_tracer(tracer);
+    }
+
+    /// Attach a pool controller (elastic autoscaling, DESIGN.md §13).
+    /// The controller's initial targets apply immediately: instances
+    /// beyond them park at `t = 0` and contribute zero GPU-seconds until
+    /// unparked. Without a controller every instance stays Active for
+    /// the whole run (the pre-elastic behavior, bit-for-bit).
+    pub fn set_autoscaler(&mut self, mut ctl: Box<dyn ScaleController>) {
+        let prefill_slots = self.decode_offset;
+        let decode_slots = self.instances.len() - self.decode_offset;
+        let targets = ctl.initial_targets(prefill_slots, decode_slots);
+        self.autoscaler = Some(ctl);
+        self.apply_targets(targets);
     }
 
     /// Override the network engine's bulk-advance shard threshold
@@ -472,6 +512,7 @@ impl ClusterSim {
                 self.tracer
                     .request_phase_begin(self.now, req.id.0, "queued");
                 self.metrics.inc(self.obs.arrived, 1);
+                self.arrived_count += 1;
                 self.prefill_queue.push_back(req.id);
                 self.kick_prefill();
             }
@@ -506,6 +547,22 @@ impl ClusterSim {
                             self.tracer.link_util(self.now, l as u64, u);
                         }
                     }
+                }
+                // Elastic control loop: the controller sees this tick's
+                // snapshot and may move the pool targets. Take/put-back
+                // keeps the borrow checker out of the snapshot build.
+                if let Some(mut ctl) = self.autoscaler.take() {
+                    let snap = self.pool_snapshot();
+                    let decision = ctl.on_tick(&snap);
+                    self.autoscaler = Some(ctl);
+                    if let Some(targets) = decision {
+                        self.apply_targets(targets);
+                    }
+                    let (pa, _, _) = self.pool_counts(InstanceKind::Prefill);
+                    let (da, _, _) = self.pool_counts(InstanceKind::Decode);
+                    self.metrics.set_gauge(self.obs.prefill_active, pa as f64);
+                    self.metrics.set_gauge(self.obs.decode_active, da as f64);
+                    self.tracer.autoscale_pools(self.now, pa, da);
                 }
                 self.events
                     .push(self.now + self.cfg.monitor_period, Ev::MonitorTick);
@@ -791,13 +848,180 @@ impl ClusterSim {
     }
 
     // ------------------------------------------------------------------
+    // Elastic pools (autoscaling)
+    // ------------------------------------------------------------------
+
+    fn pool_range(&self, kind: InstanceKind) -> std::ops::Range<usize> {
+        match kind {
+            InstanceKind::Prefill => 0..self.decode_offset,
+            InstanceKind::Decode => self.decode_offset..self.instances.len(),
+        }
+    }
+
+    /// `(active, draining, parked)` counts for one pool.
+    fn pool_counts(&self, kind: InstanceKind) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for i in self.pool_range(kind) {
+            match self.instances[i].state {
+                PoolState::Active => counts.0 += 1,
+                PoolState::Draining => counts.1 += 1,
+                PoolState::Parked => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    fn pool_snapshot(&self) -> PoolSnapshot {
+        let (pa, pd, pp) = self.pool_counts(InstanceKind::Prefill);
+        let (da, dd, dp) = self.pool_counts(InstanceKind::Decode);
+        // Admission pressure over the instances that can take new work;
+        // an empty Active set reads as full pressure.
+        let mut pressure = 0.0;
+        let mut n = 0usize;
+        for d in 0..self.kv.len() {
+            if self.instances[self.decode_offset + d].state == PoolState::Active {
+                pressure += self.kv[d].reserved_utilization();
+                n += 1;
+            }
+        }
+        PoolSnapshot {
+            now: self.now,
+            arrived: self.arrived_count,
+            done: self.done_total,
+            done_sla_ok: self.done_ok,
+            prefill_queue: self.prefill_queue.len(),
+            pending_admission: self.pending_admission.len(),
+            prefill_active: pa,
+            prefill_draining: pd,
+            prefill_parked: pp,
+            decode_active: da,
+            decode_draining: dd,
+            decode_parked: dp,
+            kv_pressure: if n == 0 { 1.0 } else { pressure / n as f64 },
+        }
+    }
+
+    /// Move both pools toward `targets`. Targets are clamped to
+    /// `[1, pool size]`; growth re-activates Draining instances first
+    /// (they are warm), then unparks in ascending index order; shrink
+    /// drains the highest-index Active instances (they park on their own
+    /// once empty — see [`ClusterSim::maybe_park`]).
+    fn apply_targets(&mut self, targets: PoolTargets) {
+        let prefill_slots = self.decode_offset;
+        let decode_slots = self.instances.len() - self.decode_offset;
+        if prefill_slots > 0 {
+            self.retarget_pool(
+                InstanceKind::Prefill,
+                targets.prefill.clamp(1, prefill_slots),
+            );
+        }
+        if decode_slots > 0 {
+            self.retarget_pool(InstanceKind::Decode, targets.decode.clamp(1, decode_slots));
+        }
+        // Newly activated capacity picks up queued work immediately.
+        self.kick_prefill();
+        self.retry_admissions();
+    }
+
+    fn retarget_pool(&mut self, kind: InstanceKind, want: usize) {
+        let range = self.pool_range(kind);
+        let (active, ..) = self.pool_counts(kind);
+        let pool_name = match kind {
+            InstanceKind::Prefill => "prefill",
+            InstanceKind::Decode => "decode",
+        };
+        if want > active {
+            let mut need = want - active;
+            // Cancel drains first: their state is intact and the GPU-hours
+            // clock never stopped, so reactivation is free.
+            for i in range.clone() {
+                if need == 0 {
+                    break;
+                }
+                if self.instances[i].state == PoolState::Draining {
+                    self.instances[i].state = PoolState::Active;
+                    need -= 1;
+                    self.scale_ups += 1;
+                    self.metrics.inc(self.obs.scale_ups, 1);
+                }
+            }
+            for i in range {
+                if need == 0 {
+                    break;
+                }
+                if self.instances[i].state == PoolState::Parked {
+                    self.instances[i].state = PoolState::Active;
+                    self.instances[i].occupied_since = Some(self.now);
+                    need -= 1;
+                    self.scale_ups += 1;
+                    self.metrics.inc(self.obs.scale_ups, 1);
+                }
+            }
+            self.tracer
+                .autoscale_decision(self.now, pool_name, active, want, "grow");
+        } else if want < active {
+            let mut excess = active - want;
+            for i in range.rev() {
+                if excess == 0 {
+                    break;
+                }
+                if self.instances[i].state == PoolState::Active {
+                    self.instances[i].state = PoolState::Draining;
+                    excess -= 1;
+                    self.scale_downs += 1;
+                    self.metrics.inc(self.obs.scale_downs, 1);
+                    self.maybe_park(i);
+                }
+            }
+            self.tracer
+                .autoscale_decision(self.now, pool_name, active, want, "shrink");
+        }
+    }
+
+    /// Park a Draining instance once it holds no work: a prefill instance
+    /// must be idle with no batch; a decode instance must hold no live or
+    /// joining requests *and* no KV reservation (a reservation covers
+    /// admissions whose KV transfer is still in the air, so an instance
+    /// can never park out from under an inbound shipment).
+    fn maybe_park(&mut self, inst: usize) {
+        if self.instances[inst].state != PoolState::Draining {
+            return;
+        }
+        let empty = match self.instances[inst].kind {
+            InstanceKind::Prefill => {
+                self.instances[inst].phase == InstPhase::Idle
+                    && self.instances[inst].batch.is_empty()
+            }
+            InstanceKind::Decode => {
+                let kv_idx = inst - self.decode_offset;
+                self.instances[inst].active.is_empty()
+                    && self.instances[inst].joining.is_empty()
+                    && self.kv[kv_idx].reserved() == 0
+            }
+        };
+        if empty {
+            self.instances[inst].flush_gpu_seconds(self.now);
+            self.instances[inst].state = PoolState::Parked;
+            let pool = match self.instances[inst].kind {
+                InstanceKind::Prefill => "prefill",
+                InstanceKind::Decode => "decode",
+            };
+            self.tracer.autoscale_parked(self.now, inst as u64, pool);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Prefill path
     // ------------------------------------------------------------------
 
-    /// Start iterations on every idle prefill instance with queued work.
+    /// Start iterations on every Active, idle prefill instance with
+    /// queued work. Draining/Parked instances take no new batches.
     fn kick_prefill(&mut self) {
         for i in 0..self.decode_offset {
-            if self.instances[i].phase == InstPhase::Idle && !self.prefill_queue.is_empty() {
+            if self.instances[i].state == PoolState::Active
+                && self.instances[i].phase == InstPhase::Idle
+                && !self.prefill_queue.is_empty()
+            {
                 self.start_prefill_iteration(i);
             }
         }
@@ -1197,12 +1421,14 @@ impl ClusterSim {
                     self.try_admit(id);
                 }
                 self.kick_prefill();
+                self.maybe_park(inst);
             }
             InstanceKind::Decode => {
                 let kv_idx = inst - self.decode_offset;
                 let active = self.instances[inst].active.clone();
                 let mut finished_reqs = Vec::new();
                 let mut live_growth = 0u64;
+                let (ttft_sla, tpot_sla) = (self.cfg.ttft_sla_s, self.cfg.tpot_sla_s);
                 for id in &active {
                     let r = &mut self.reqs[id.0 as usize];
                     r.tokens_generated += 1;
@@ -1214,6 +1440,10 @@ impl ClusterSim {
                         let ttft = r.ttft_secs().unwrap_or(0.0);
                         let latency = self.now.saturating_since(r.req.arrival).as_secs_f64();
                         let tpot = r.tpot_secs();
+                        self.done_total += 1;
+                        if ttft <= ttft_sla && tpot.map(|t| t <= tpot_sla).unwrap_or(false) {
+                            self.done_ok += 1;
+                        }
                         self.tracer.request_phase_end(self.now, id.0, "decode");
                         self.tracer.request_done(self.now, id.0, ttft, latency);
                         self.metrics.inc(self.obs.completed, 1);
@@ -1238,6 +1468,7 @@ impl ClusterSim {
                     self.retry_admissions();
                 }
                 self.start_decode_iteration(inst);
+                self.maybe_park(inst);
             }
         }
     }
@@ -1262,8 +1493,12 @@ impl ClusterSim {
     fn admit_request(&mut self, id: RequestId) -> bool {
         let need = self.reqs[id.0 as usize].reserved_kv_tokens();
         // Candidates in ascending decode-pool order (deterministic).
+        // Draining/Parked instances are not admission targets.
         let eligible: Vec<usize> = (0..self.kv.len())
-            .filter(|&d| self.kv[d].can_admit(need))
+            .filter(|&d| {
+                self.instances[self.decode_offset + d].state == PoolState::Active
+                    && self.kv[d].can_admit(need)
+            })
             .collect();
         if eligible.is_empty() {
             return false;
@@ -1542,7 +1777,27 @@ impl ClusterSim {
     }
 
     fn build_report(&mut self, horizon: SimTime) -> SimReport {
+        // Close every open occupancy interval at the horizon: a run with
+        // no autoscaler reports exactly `total_gpus × horizon` GPU-seconds.
+        let mut gpu_seconds = 0.0;
+        for inst in &mut self.instances {
+            inst.flush_gpu_seconds(horizon);
+            gpu_seconds += inst.gpu_seconds;
+        }
+        let (final_prefill_active, ..) = self.pool_counts(InstanceKind::Prefill);
+        let (final_decode_active, ..) = self.pool_counts(InstanceKind::Decode);
+        let horizon_s = horizon.as_secs_f64();
         let mut report = SimReport {
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            gpu_seconds,
+            mean_active_gpus: if horizon_s > 0.0 {
+                gpu_seconds / horizon_s
+            } else {
+                0.0
+            },
+            final_prefill_active,
+            final_decode_active,
             strategy: self.strategy.name().to_string(),
             offered_rate: self.offered_rate,
             mem_series: std::mem::take(&mut self.mem_series),
@@ -1608,6 +1863,7 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::autoscale::StaticController;
     use crate::strategy::StaticStrategy;
     use hs_des::SeedSplitter;
     use hs_model::profile::{fit, ProfileGrid};
@@ -2257,6 +2513,206 @@ mod tests {
             "bogus choice must not strand work"
         );
         assert_eq!(rep.kv_transfers as usize, rep.completed);
+    }
+
+    // ---- Elastic pools -------------------------------------------------
+
+    /// Testbed sim with the pools split into 2 prefill + 2 decode TP=2
+    /// slots so the autoscaler has something to park.
+    fn build_elastic_sim(rate: f64, horizon_s: u64) -> (ClusterSim, usize) {
+        let t = testbed();
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let split = |gpus: &[NodeId]| {
+            vec![
+                InstanceSpec::tensor_parallel(gpus[..2].to_vec()),
+                InstanceSpec::tensor_parallel(gpus[2..].to_vec()),
+            ]
+        };
+        let cfg = ClusterConfig {
+            model,
+            coef: fitted.coefficients,
+            ttft_sla_s: 2.5,
+            tpot_sla_s: 0.15,
+            prefill: split(&t.gpus_by_server[0]),
+            decode: split(&t.gpus_by_server[1]),
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 4,
+            background: None,
+            faults: FaultPlan::none(),
+        };
+        let mut rng = SeedSplitter::new(11).stream("trace");
+        let mut arr = Poisson::new(rate);
+        let trace = Trace::generate(
+            &fixed(256, 16),
+            &mut arr,
+            &mut rng,
+            SimTime::from_secs(horizon_s),
+        );
+        let n = trace.len();
+        let strategy = StaticStrategy::uniform("test", Scheme::Ring, BusyPolicy::FallbackRing);
+        let sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        (sim, n)
+    }
+
+    /// Without an autoscaler every GPU is billed for the whole run: the
+    /// equal-GPU-hours baseline the elastic comparison relies on.
+    #[test]
+    fn no_autoscaler_bills_every_gpu_for_the_whole_run() {
+        let (report, _) = small_setup(1.0, 10, Scheme::Ring);
+        let h = 40.0; // run horizon = horizon_s + 30
+        assert!(
+            (report.gpu_seconds - 8.0 * h).abs() < 1e-6,
+            "{}",
+            report.gpu_seconds
+        );
+        assert!((report.mean_active_gpus - 8.0).abs() < 1e-9);
+        assert_eq!(report.scale_ups, 0);
+        assert_eq!(report.scale_downs, 0);
+        assert_eq!(report.final_prefill_active, 1);
+        assert_eq!(report.final_decode_active, 1);
+    }
+
+    /// A static controller pinning 1/1 parks the spare slots at t=0; the
+    /// parked GPUs bill nothing and the run still completes everything.
+    #[test]
+    fn static_controller_parks_spare_slots_from_t0() {
+        let (mut sim, n) = build_elastic_sim(1.0, 10);
+        sim.set_autoscaler(Box::new(StaticController {
+            prefill: 1,
+            decode: 1,
+        }));
+        let report = sim.run(SimTime::from_secs(40));
+        assert!(n > 3);
+        assert_eq!(report.completed, report.arrived);
+        assert_eq!(report.final_prefill_active, 1);
+        assert_eq!(report.final_decode_active, 1);
+        // 1 prefill slot (2 GPUs) + 1 decode slot (2 GPUs) for 40 s.
+        assert!(
+            (report.gpu_seconds - 4.0 * 40.0).abs() < 1e-6,
+            "{}",
+            report.gpu_seconds
+        );
+    }
+
+    /// Growing mid-run unparks slots warm, counts scale-ups, and bills
+    /// the new slots only from the moment they rejoin.
+    #[test]
+    fn grow_mid_run_unparks_and_bills_partial_time() {
+        struct GrowAt {
+            at: SimTime,
+            fired: bool,
+        }
+        impl ScaleController for GrowAt {
+            fn initial_targets(&mut self, _p: usize, _d: usize) -> PoolTargets {
+                PoolTargets {
+                    prefill: 1,
+                    decode: 1,
+                }
+            }
+            fn on_tick(&mut self, snap: &PoolSnapshot) -> Option<PoolTargets> {
+                if !self.fired && snap.now >= self.at {
+                    self.fired = true;
+                    return Some(PoolTargets {
+                        prefill: 2,
+                        decode: 2,
+                    });
+                }
+                None
+            }
+            fn name(&self) -> &str {
+                "grow-at"
+            }
+        }
+        let (mut sim, _) = build_elastic_sim(2.0, 10);
+        sim.set_autoscaler(Box::new(GrowAt {
+            at: SimTime::from_secs(5),
+            fired: false,
+        }));
+        let report = sim.run(SimTime::from_secs(40));
+        assert_eq!(report.completed, report.arrived);
+        assert_eq!(report.scale_ups, 2);
+        assert_eq!(report.final_prefill_active, 2);
+        assert_eq!(report.final_decode_active, 2);
+        // 4 GPUs for 40 s plus 4 more from ~5 s on: strictly between the
+        // pinned-small and always-on envelopes.
+        assert!(report.gpu_seconds > 4.0 * 40.0 + 4.0 * 30.0);
+        assert!(report.gpu_seconds < 8.0 * 40.0);
+    }
+
+    /// Shrinking drains: the victim finishes its in-flight work before
+    /// parking, so nothing is stranded and KV accounting still balances.
+    #[test]
+    fn shrink_drains_in_flight_work_before_parking() {
+        struct ShrinkAt {
+            at: SimTime,
+            fired: bool,
+        }
+        impl ScaleController for ShrinkAt {
+            fn initial_targets(
+                &mut self,
+                prefill_slots: usize,
+                decode_slots: usize,
+            ) -> PoolTargets {
+                PoolTargets {
+                    prefill: prefill_slots,
+                    decode: decode_slots,
+                }
+            }
+            fn on_tick(&mut self, snap: &PoolSnapshot) -> Option<PoolTargets> {
+                if !self.fired && snap.now >= self.at {
+                    self.fired = true;
+                    return Some(PoolTargets {
+                        prefill: 1,
+                        decode: 1,
+                    });
+                }
+                None
+            }
+            fn name(&self) -> &str {
+                "shrink-at"
+            }
+        }
+        let (mut sim, n) = build_elastic_sim(6.0, 10);
+        sim.set_autoscaler(Box::new(ShrinkAt {
+            at: SimTime::from_secs(3),
+            fired: false,
+        }));
+        let report = sim.run(SimTime::from_secs(60));
+        assert!(n > 20);
+        assert_eq!(report.completed, report.arrived, "drain stranded work");
+        assert_eq!(report.scale_downs, 2);
+        assert_eq!(report.final_prefill_active, 1);
+        assert_eq!(report.final_decode_active, 1);
+        for (i, m) in sim.kv_managers().iter().enumerate() {
+            assert_eq!(m.reserved(), 0, "instance {i} leaked reservations");
+            assert_eq!(m.live(), 0, "instance {i} leaked live tokens");
+        }
+    }
+
+    /// Elastic runs are bit-identical across repeats, including the new
+    /// accounting fields.
+    #[test]
+    fn elastic_run_is_deterministic() {
+        let run = || {
+            let (mut sim, _) = build_elastic_sim(4.0, 10);
+            sim.set_autoscaler(Box::new(StaticController {
+                prefill: 1,
+                decode: 2,
+            }));
+            sim.run(SimTime::from_secs(45))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_ttft_s, b.mean_ttft_s);
+        assert_eq!(a.gpu_seconds, b.gpu_seconds);
+        assert_eq!(a.scale_ups, b.scale_ups);
+        assert_eq!(a.scale_downs, b.scale_downs);
     }
 }
 

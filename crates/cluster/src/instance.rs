@@ -1,5 +1,7 @@
 //! Prefill/decode instance specifications and runtime state.
 
+use crate::autoscale::PoolState;
+use hs_des::SimTime;
 use hs_topology::NodeId;
 use hs_workload::RequestId;
 
@@ -99,10 +101,19 @@ pub struct Instance {
     pub joining: Vec<RequestId>,
     /// Iterations completed (diagnostics).
     pub iterations: u64,
+    /// Elasticity state (autoscaling; see [`crate::autoscale`]).
+    pub state: PoolState,
+    /// When this instance last became occupied (GPU-hours clock).
+    /// `Some` while Active or Draining, `None` while Parked.
+    pub occupied_since: Option<SimTime>,
+    /// Accumulated occupied GPU-seconds (`gpu_count × occupied wall
+    /// time`) over completed occupancy intervals; the open interval is
+    /// flushed at park time and at the report horizon.
+    pub gpu_seconds: f64,
 }
 
 impl Instance {
-    /// Fresh idle instance.
+    /// Fresh idle instance, Active from `t = 0`.
     pub fn new(spec: InstanceSpec, kind: InstanceKind) -> Self {
         debug_assert!(spec.validate().is_ok());
         Instance {
@@ -113,12 +124,24 @@ impl Instance {
             active: Vec::new(),
             joining: Vec::new(),
             iterations: 0,
+            state: PoolState::Active,
+            occupied_since: Some(SimTime::ZERO),
+            gpu_seconds: 0.0,
         }
     }
 
     /// Decode load in live requests (for least-loaded dispatch).
     pub fn decode_load(&self) -> usize {
         self.active.len() + self.joining.len()
+    }
+
+    /// Close the open occupancy interval at `now`, adding it to
+    /// [`Instance::gpu_seconds`]. Idempotent once parked.
+    pub fn flush_gpu_seconds(&mut self, now: SimTime) {
+        if let Some(since) = self.occupied_since.take() {
+            self.gpu_seconds +=
+                self.spec.gpu_count() as f64 * now.saturating_since(since).as_secs_f64();
+        }
     }
 }
 

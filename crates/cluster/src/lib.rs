@@ -23,6 +23,7 @@
 //! Everything the paper's evaluation measures comes out of
 //! [`engine::ClusterSim::run`]'s [`metrics::SimReport`].
 
+pub mod autoscale;
 pub mod batching;
 pub mod engine;
 pub mod instance;
@@ -32,6 +33,7 @@ pub mod metrics;
 pub mod request;
 pub mod strategy;
 
+pub use autoscale::{PoolSnapshot, PoolState, PoolTargets, ScaleController, StaticController};
 pub use engine::{ClusterConfig, ClusterSim};
 pub use instance::{InstanceKind, InstanceSpec};
 pub use kvcache::KvManager;

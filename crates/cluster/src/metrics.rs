@@ -112,6 +112,21 @@ pub struct SimReport {
     pub mean_ttft_e2e_s: f64,
     /// p90 end-to-end TTFT, seconds.
     pub p90_ttft_e2e_s: f64,
+    /// Autoscaler grow actions applied (one per instance activated).
+    pub scale_ups: u64,
+    /// Autoscaler shrink actions applied (one per instance drained).
+    pub scale_downs: u64,
+    /// Occupied GPU-seconds summed over all instances (`gpu_count ×
+    /// non-parked wall time`). Without an autoscaler this is exactly
+    /// `total_gpus × horizon` — the equal-GPU-hours axis of the
+    /// elastic-vs-static comparison.
+    pub gpu_seconds: f64,
+    /// `gpu_seconds / horizon`: the time-averaged GPU footprint.
+    pub mean_active_gpus: f64,
+    /// Active prefill instances at the horizon.
+    pub final_prefill_active: usize,
+    /// Active decode instances at the horizon.
+    pub final_decode_active: usize,
 }
 
 /// SLA verdict for one request at `horizon`: `Some(true)` pass,

@@ -44,6 +44,7 @@
 //! assert!(report.arrived > 0);
 //! ```
 
+pub mod autoscaler;
 pub mod netest;
 pub mod planner;
 pub mod policy;
@@ -52,6 +53,7 @@ pub mod scheduler;
 pub mod spec;
 pub mod system;
 
+pub use autoscaler::{AutoscaleConfig, Autoscaler};
 pub use planner::{plan, PlannerError, PlannerOutput, SchemeSpace, SolveStats};
 pub use policy::KvSelectParams;
 pub use scheduler::{HeroScheduler, KvSelection, SchedulerParams};

@@ -77,6 +77,9 @@ pub mod track {
     pub const FAULTS: u32 = 6;
     /// KV-cache transfer flows (prefill→decode shipment); `tid` = request id.
     pub const KV: u32 = 7;
+    /// Autoscaler decisions and pool-size counters; `tid` = 0 for
+    /// decisions, 1/2 for the prefill/decode pool-size tracks.
+    pub const AUTOSCALE: u32 = 8;
 
     /// Human-readable name for a process id (used for trace metadata).
     pub fn name(pid: u32) -> &'static str {
@@ -88,12 +91,13 @@ pub mod track {
             SWITCH => "switch",
             FAULTS => "faults",
             KV => "kv_transfer",
+            AUTOSCALE => "autoscale",
             _ => "other",
         }
     }
 
     /// All process ids the exporter should label.
-    pub const ALL: [u32; 7] = [
+    pub const ALL: [u32; 8] = [
         REQUESTS,
         COLLECTIVES,
         NETWORK,
@@ -101,6 +105,7 @@ pub mod track {
         SWITCH,
         FAULTS,
         KV,
+        AUTOSCALE,
     ];
 }
 

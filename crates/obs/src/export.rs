@@ -158,8 +158,9 @@ mod tests {
         let doc = chrome_trace(&sample_records());
         let v = serde_json::from_str(&doc).expect("exporter must emit valid JSON");
         let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
-        // 7 process_name metadata records + 6 sample records.
-        assert_eq!(events.len(), 13);
+        // 8 process_name metadata records (one per named track) + 6
+        // sample records.
+        assert_eq!(events.len(), 14);
         let select = events
             .iter()
             .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("policy_select"))

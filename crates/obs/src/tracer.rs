@@ -418,6 +418,78 @@ impl Tracer {
     }
 
     // ------------------------------------------------------------------
+    // Autoscaling (elastic P/D pools, DESIGN.md §13).
+    // ------------------------------------------------------------------
+
+    /// The controller changed a pool target: which pool, the old and new
+    /// Active counts, and the signal that triggered it.
+    pub fn autoscale_decision(
+        &self,
+        t: SimTime,
+        pool: &'static str,
+        from: usize,
+        to: usize,
+        reason: &'static str,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::AUTOSCALE,
+            0,
+            if to > from { "scale_up" } else { "scale_down" },
+            "autoscale",
+            vec![
+                ("pool", Val::Str(pool.to_owned())),
+                ("from", Val::U64(from as u64)),
+                ("to", Val::U64(to as u64)),
+                ("reason", Val::Str(reason.to_owned())),
+            ],
+        );
+    }
+
+    /// A draining instance finished its in-flight work and parked.
+    pub fn autoscale_parked(&self, t: SimTime, instance: u64, pool: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.instant(
+            t,
+            track::AUTOSCALE,
+            0,
+            "parked",
+            "autoscale",
+            vec![
+                ("instance", Val::U64(instance)),
+                ("pool", Val::Str(pool.to_owned())),
+            ],
+        );
+    }
+
+    /// Sampled Active-instance counts (Chrome counter tracks: tid 1 =
+    /// prefill, tid 2 = decode).
+    pub fn autoscale_pools(&self, t: SimTime, prefill_active: usize, decode_active: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(
+            t,
+            track::AUTOSCALE,
+            1,
+            "prefill_active",
+            prefill_active as f64,
+        );
+        self.counter(
+            t,
+            track::AUTOSCALE,
+            2,
+            "decode_active",
+            decode_active as f64,
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Network (hs-simnet).
     // ------------------------------------------------------------------
 

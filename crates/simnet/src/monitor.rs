@@ -3,7 +3,7 @@
 //! The paper's switch control plane "periodically polls hardware counters
 //! from the data plane to obtain link utilization metrics", and GPU agents
 //! read NVLink utilization via DCGM. [`LinkMonitor`] reproduces that
-//! observation channel: it samples [`SimNet`](crate::SimNet)'s cumulative
+//! observation channel: it samples [`SimNet`]'s cumulative
 //! byte counters on a polling cadence and maintains an exponentially
 //! weighted moving average of per-link utilization over the polling window.
 //!

@@ -19,22 +19,47 @@ use hs_topology::{LinkId, NodeId};
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
     /// The link loses all capacity in both directions.
-    LinkDown { link: LinkId },
+    LinkDown {
+        /// The affected link.
+        link: LinkId,
+    },
     /// The link returns to its nominal capacity.
-    LinkUp { link: LinkId },
+    LinkUp {
+        /// The recovered link.
+        link: LinkId,
+    },
     /// The link keeps only `factor` of its nominal capacity
     /// (`0.0 < factor < 1.0`; `0.0` is equivalent to [`FaultKind::LinkDown`]).
-    LinkDegrade { link: LinkId, factor: f64 },
+    LinkDegrade {
+        /// The affected link.
+        link: LinkId,
+        /// Fraction of nominal capacity retained, in `[0, 1)`.
+        factor: f64,
+    },
     /// The switch fails: every link adjacent to it goes down, and its
     /// in-network aggregation engine (if any) becomes unusable.
-    SwitchFail { switch: NodeId },
+    SwitchFail {
+        /// The failed switch node.
+        switch: NodeId,
+    },
     /// The switch comes back; adjacent links return to nominal capacity.
-    SwitchRecover { switch: NodeId },
+    SwitchRecover {
+        /// The recovered switch node.
+        switch: NodeId,
+    },
     /// Compute on the GPU runs `slowdown`× slower (thermal throttle,
     /// noisy neighbor). `slowdown >= 1.0`.
-    GpuStall { gpu: NodeId, slowdown: f64 },
+    GpuStall {
+        /// The affected GPU node.
+        gpu: NodeId,
+        /// Compute-time multiplier, `>= 1.0`.
+        slowdown: f64,
+    },
     /// The GPU returns to nominal speed.
-    GpuRecover { gpu: NodeId },
+    GpuRecover {
+        /// The recovered GPU node.
+        gpu: NodeId,
+    },
 }
 
 /// A [`FaultKind`] pinned to a simulation time.

@@ -13,12 +13,22 @@
 //! * [`longbench_like`] — long prompts (4–12 k tokens), short
 //!   generations — the summarization regime whose huge `K_in` stresses
 //!   prefill communication;
-//! * [`arrival`] — Poisson arrivals plus a two-state MMPP for the *bursty*
-//!   conditions under which homogeneous INA collapses (§I, §II-C);
-//! * [`trace`] — materialized request records and replay iteration;
+//! * [`heavy_tail_like`] — Pareto prompt lengths ([`ParetoSpec`]), the
+//!   power-law population where rare giants dominate the token budget;
+//! * [`arrival`] — Poisson arrivals, a two-state MMPP for the *bursty*
+//!   conditions under which homogeneous INA collapses (§I, §II-C), a
+//!   [`Mmpp::flash_crowd`] viral-spike profile, and a [`Diurnal`]
+//!   day/night cycle (non-homogeneous Poisson via thinning);
+//! * [`trace`] — materialized request records, replay iteration, and
+//!   CSV/JSONL export/import for recorded production traces;
 //! * [`stats`] — means/percentiles used by every experiment report;
 //! * [`fault`] — timed fabric-fault schedules ([`FaultPlan`]) replayed
 //!   alongside a trace to exercise graceful degradation.
+//!
+//! Every generator draws exclusively from a caller-supplied seeded
+//! `SmallRng` stream, so traces are bit-identical across repeats and
+//! rayon thread counts (`tests/determinism.rs` pins this).
+#![warn(missing_docs)]
 
 pub mod arrival;
 pub mod fault;
@@ -26,8 +36,11 @@ pub mod spec;
 pub mod stats;
 pub mod trace;
 
-pub use arrival::{ArrivalProcess, Mmpp, Poisson};
+pub use arrival::{ArrivalProcess, Diurnal, Mmpp, Poisson};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use spec::{longbench_like, sharegpt_like, LengthSpec, WorkloadSpec};
+pub use spec::{
+    heavy_tail_like, longbench_like, sharegpt_like, LengthModel, LengthSpec, ParetoSpec,
+    WorkloadSpec,
+};
 pub use stats::{mean, percentile};
 pub use trace::{Request, RequestId, Trace};

@@ -1,4 +1,11 @@
 //! Workload length distributions.
+//!
+//! Token lengths are drawn from a [`LengthModel`]: either a clamped
+//! log-normal ([`LengthSpec`], the paper's chatbot/summarization fits)
+//! or a clamped Pareto ([`ParetoSpec`]) for heavy-tailed prompt
+//! populations where a small fraction of requests dominates the token
+//! budget. Both expose `sample` and `analytic_mean` so load estimation
+//! ([`WorkloadSpec::mean_tokens`]) works identically for either shape.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -44,15 +51,129 @@ impl LengthSpec {
     }
 }
 
+/// A clamped Pareto token-length distribution for heavy-tailed
+/// populations: most requests are short, but the tail decays as a power
+/// law `P(X > x) = (scale/x)^shape`, so a handful of giants carry a
+/// disproportionate share of the token budget.
+///
+/// Sampling uses the inverse CDF, `x = scale · (1 − u)^(−1/shape)`,
+/// with the vendored `SmallRng` — no extra distribution crate needed.
+/// The analytic (unclamped) mean is `shape · scale / (shape − 1)`,
+/// finite only for `shape > 1`; the constructor requires that so load
+/// estimation stays meaningful.
+///
+/// ```
+/// use hs_des::SeedSplitter;
+/// use hs_workload::ParetoSpec;
+///
+/// let mut rng = SeedSplitter::new(7).stream("lengths");
+/// let p = ParetoSpec::with_mean(160.0, 1.5, 4, 2048);
+/// let lens: Vec<u32> = (0..4).map(|_| p.sample(&mut rng)).collect();
+/// assert_eq!(lens, [62, 81, 76, 66]);
+/// assert!((p.analytic_mean() - 160.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParetoSpec {
+    /// Scale `x_m` (minimum of the unclamped support), tokens.
+    pub scale: f64,
+    /// Tail index `α`; smaller is heavier. Must be `> 1` for a finite
+    /// mean.
+    pub shape: f64,
+    /// Minimum length (inclusive), applied after sampling.
+    pub min: u32,
+    /// Maximum length (inclusive), applied after sampling.
+    pub max: u32,
+}
+
+impl ParetoSpec {
+    /// A Pareto spec with the given `scale`/`shape`, clamped to
+    /// `[min, max]`. Panics unless `scale > 0`, `shape > 1`, and
+    /// `1 ≤ min ≤ max`.
+    pub fn new(scale: f64, shape: f64, min: u32, max: u32) -> Self {
+        assert!(scale > 0.0, "Pareto scale must be positive");
+        assert!(shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
+        assert!(min >= 1 && max >= min);
+        ParetoSpec {
+            scale,
+            shape,
+            min,
+            max,
+        }
+    }
+
+    /// A spec whose *unclamped* mean is `mean`, with tail index
+    /// `shape`: solves `scale = mean · (shape − 1) / shape`.
+    pub fn with_mean(mean: f64, shape: f64, min: u32, max: u32) -> Self {
+        assert!(mean > 0.0);
+        ParetoSpec::new(mean * (shape - 1.0) / shape, shape, min, max)
+    }
+
+    /// Draw one length.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        // Inverse-CDF: u ~ U[0,1), x = scale · (1−u)^(−1/shape).
+        let u: f64 = rng.gen();
+        let x = self.scale * (1.0 - u).powf(-1.0 / self.shape);
+        (x.round() as i64).clamp(self.min as i64, self.max as i64) as u32
+    }
+
+    /// The analytic (unclamped) mean, `shape · scale / (shape − 1)`.
+    pub fn analytic_mean(&self) -> f64 {
+        self.shape * self.scale / (self.shape - 1.0)
+    }
+}
+
+/// A token-length distribution: log-normal body or Pareto tail.
+///
+/// [`WorkloadSpec`] stores one per direction so heavy-tailed prompt
+/// populations plug into the same trace generation, load estimation,
+/// and planner paths as the paper's log-normal fits.
+#[derive(Clone, Copy, Debug)]
+pub enum LengthModel {
+    /// Clamped log-normal (see [`LengthSpec`]).
+    LogNormal(LengthSpec),
+    /// Clamped Pareto (see [`ParetoSpec`]).
+    Pareto(ParetoSpec),
+}
+
+impl LengthModel {
+    /// Draw one length.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match self {
+            LengthModel::LogNormal(s) => s.sample(rng),
+            LengthModel::Pareto(s) => s.sample(rng),
+        }
+    }
+
+    /// The analytic (unclamped) mean of the underlying distribution.
+    pub fn analytic_mean(&self) -> f64 {
+        match self {
+            LengthModel::LogNormal(s) => s.analytic_mean(),
+            LengthModel::Pareto(s) => s.analytic_mean(),
+        }
+    }
+}
+
+impl From<LengthSpec> for LengthModel {
+    fn from(s: LengthSpec) -> Self {
+        LengthModel::LogNormal(s)
+    }
+}
+
+impl From<ParetoSpec> for LengthModel {
+    fn from(s: ParetoSpec) -> Self {
+        LengthModel::Pareto(s)
+    }
+}
+
 /// A full workload: input and output length distributions plus SLAs.
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// Name for reports ("chatbot", "summarization").
     pub name: String,
     /// Input (prompt) length distribution.
-    pub input: LengthSpec,
+    pub input: LengthModel,
     /// Output (generation) length distribution.
-    pub output: LengthSpec,
+    pub output: LengthModel,
     /// TTFT SLA, seconds (Table I `T_sla^pre`).
     pub ttft_sla_s: f64,
     /// TPOT SLA, seconds (Table I `T_sla^dec`).
@@ -84,8 +205,8 @@ impl WorkloadSpec {
 pub fn sharegpt_like() -> WorkloadSpec {
     WorkloadSpec {
         name: "chatbot".into(),
-        input: LengthSpec::with_mean(160.0, 1.0, 4, 2048),
-        output: LengthSpec::with_mean(210.0, 0.8, 16, 1024),
+        input: LengthSpec::with_mean(160.0, 1.0, 4, 2048).into(),
+        output: LengthSpec::with_mean(210.0, 0.8, 16, 1024).into(),
         ttft_sla_s: 2.5,
         tpot_sla_s: 0.15,
     }
@@ -101,8 +222,8 @@ pub fn sharegpt_like() -> WorkloadSpec {
 pub fn longbench_like() -> WorkloadSpec {
     WorkloadSpec {
         name: "summarization".into(),
-        input: LengthSpec::with_mean(1600.0, 0.35, 512, 1948),
-        output: LengthSpec::with_mean(100.0, 0.6, 32, 512),
+        input: LengthSpec::with_mean(1600.0, 0.35, 512, 1948).into(),
+        output: LengthSpec::with_mean(100.0, 0.6, 32, 512).into(),
         ttft_sla_s: 15.0,
         tpot_sla_s: 0.15,
     }
@@ -118,13 +239,29 @@ pub fn fixed(input: u32, output: u32) -> WorkloadSpec {
             sigma: 0.0,
             min: input,
             max: input,
-        },
+        }
+        .into(),
         output: LengthSpec {
             mu: (output as f64).ln(),
             sigma: 0.0,
             min: output,
             max: output,
-        },
+        }
+        .into(),
+        ttft_sla_s: 2.5,
+        tpot_sla_s: 0.15,
+    }
+}
+
+/// A heavy-tailed workload: Pareto prompt lengths (tail index 1.5 —
+/// most prompts short, rare context-window-filling giants) with
+/// log-normal outputs and chatbot SLAs. This is the length regime a
+/// static P/D split sized for the *mean* prompt handles worst.
+pub fn heavy_tail_like() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "heavy-tail".into(),
+        input: ParetoSpec::with_mean(160.0, 1.5, 4, 2048).into(),
+        output: LengthSpec::with_mean(210.0, 0.8, 16, 1024).into(),
         ttft_sla_s: 2.5,
         tpot_sla_s: 0.15,
     }
@@ -218,6 +355,73 @@ mod tests {
         let sim = sharegpt_like().with_slas(4.0, 0.2);
         assert_eq!(sim.ttft_sla_s, 4.0);
         assert_eq!(sim.tpot_sla_s, 0.2);
+    }
+
+    #[test]
+    fn pareto_with_mean_hits_target() {
+        let p = ParetoSpec::with_mean(300.0, 2.0, 1, u32::MAX);
+        assert!((p.analytic_mean() - 300.0).abs() < 1e-9);
+        // scale = mean·(α−1)/α = 150 for α = 2.
+        assert!((p.scale - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_empirical_mean_converges() {
+        // Wide clamp + α = 2.5 (finite variance) so the sample mean
+        // converges at a testable n.
+        let p = ParetoSpec::with_mean(200.0, 2.5, 1, 10_000_000);
+        let mut r = rng();
+        let n = 200_000;
+        let mean = (0..n).map(|_| p.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean / 200.0 - 1.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_lognormal() {
+        // Equal analytic means; compare the 99.9th percentile mass.
+        let pareto = ParetoSpec::with_mean(160.0, 1.5, 1, u32::MAX);
+        let lognorm = LengthSpec::with_mean(160.0, 1.0, 1, u32::MAX);
+        let mut r = rng();
+        let n = 50_000;
+        let big = 4000u32;
+        let p_hits = (0..n).filter(|_| pareto.sample(&mut r) > big).count();
+        let l_hits = (0..n).filter(|_| lognorm.sample(&mut r) > big).count();
+        assert!(
+            p_hits > 4 * (l_hits + 1),
+            "pareto {p_hits} vs lognormal {l_hits} beyond {big} tokens"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_like_respects_context_window() {
+        let spec = heavy_tail_like();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..20_000).map(|_| spec.input.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (4..=2048).contains(&x)));
+        // The clamp truncates the tail, so the empirical mean sits
+        // below the unclamped analytic mean but well above the mode.
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / 20_000.0;
+        assert!(mean > 60.0 && mean < 200.0, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn pareto_infinite_mean_rejected() {
+        ParetoSpec::new(100.0, 1.0, 1, 1000);
+    }
+
+    #[test]
+    fn length_model_dispatch_matches_inner() {
+        let ls = LengthSpec::with_mean(100.0, 0.5, 1, 1000);
+        let ps = ParetoSpec::with_mean(100.0, 2.0, 1, 1000);
+        let ml: LengthModel = ls.into();
+        let mp: LengthModel = ps.into();
+        assert!((ml.analytic_mean() - ls.analytic_mean()).abs() < 1e-12);
+        assert!((mp.analytic_mean() - ps.analytic_mean()).abs() < 1e-12);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(ml.sample(&mut r1), ls.sample(&mut r2));
+        assert_eq!(mp.sample(&mut r1), ps.sample(&mut r2));
     }
 
     #[test]

@@ -36,7 +36,9 @@ use hs_des::{EventQueue, SeedSplitter, SimTime};
 use hs_model::ModelConfig;
 use hs_topology::builders::testbed;
 use hs_topology::{AllPairs, LinkWeight, NodeId};
-use hs_workload::{sharegpt_like, FaultPlan};
+use hs_workload::{
+    heavy_tail_like, sharegpt_like, Diurnal, FaultPlan, Mmpp, ParetoSpec, Poisson, Trace,
+};
 use proptest::prelude::*;
 use serde_json::json;
 
@@ -137,6 +139,12 @@ fn report_json(r: &SimReport) -> String {
         "mean_kv_est_err_s": r.mean_kv_est_err_s,
         "mean_ttft_e2e_s": r.mean_ttft_e2e_s,
         "p90_ttft_e2e_s": r.p90_ttft_e2e_s,
+        "scale_ups": r.scale_ups,
+        "scale_downs": r.scale_downs,
+        "gpu_seconds": r.gpu_seconds,
+        "mean_active_gpus": r.mean_active_gpus,
+        "final_prefill_active": r.final_prefill_active,
+        "final_decode_active": r.final_decode_active,
     });
     serde_json::to_string_pretty(&v).expect("report serializes")
 }
@@ -442,6 +450,227 @@ fn sharded_event_merge_identical_across_rayon_thread_counts() {
         assert_eq!(
             s, &sequential,
             "sharded merge diverged from sequential under nominal thread count {n}"
+        );
+    }
+}
+
+/// Bit-exact fingerprint of a trace: integer arrival nanos + lengths.
+fn trace_fingerprint(t: &Trace) -> String {
+    t.requests
+        .iter()
+        .map(|r| {
+            format!(
+                "{}:{}:{}",
+                r.arrival.as_nanos(),
+                r.input_tokens,
+                r.output_tokens
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The traffic engine's determinism contract: every generator produces a
+/// bit-identical trace across repeats and across nominal rayon thread
+/// counts (generation is single-threaded by construction; the env loop
+/// pins that a real rayon substitution cannot leak into it).
+#[test]
+fn traffic_generators_bit_identical_across_repeats_and_thread_counts() {
+    let horizon = SimTime::from_secs(20);
+    let generate = |name: &str| -> String {
+        let mut rng = SeedSplitter::new(99).stream(name);
+        let trace = match name {
+            "poisson" => {
+                Trace::generate(&sharegpt_like(), &mut Poisson::new(8.0), &mut rng, horizon)
+            }
+            "flash-crowd" => Trace::generate(
+                &sharegpt_like(),
+                &mut Mmpp::flash_crowd(6.0, 5.0),
+                &mut rng,
+                horizon,
+            ),
+            "diurnal" => Trace::generate(
+                &heavy_tail_like(),
+                &mut Diurnal::new(8.0, 0.8, 5.0),
+                &mut rng,
+                horizon,
+            ),
+            other => panic!("unknown generator {other}"),
+        };
+        trace_fingerprint(&trace)
+    };
+    for name in ["poisson", "flash-crowd", "diurnal"] {
+        let base = generate(name);
+        assert!(!base.is_empty(), "{name} produced an empty trace");
+        assert_eq!(base, generate(name), "{name} differs across repeats");
+        for n in ["1", "2", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", n);
+            let under = generate(name);
+            std::env::remove_var("RAYON_NUM_THREADS");
+            assert_eq!(base, under, "{name} differs under nominal thread count {n}");
+        }
+    }
+}
+
+/// Statistical sanity for the generators: empirical rates/means track
+/// the analytic ones, and the MMPP is genuinely burstier than Poisson.
+#[test]
+fn traffic_generator_statistics_match_analytic_targets() {
+    let horizon = SimTime::from_secs(400);
+    let spec = hs_workload::spec::fixed(64, 8);
+
+    // Diurnal mean rate integrates to the base rate over whole periods.
+    let mut rng = SeedSplitter::new(5).stream("diurnal-stat");
+    let t = Trace::generate(&spec, &mut Diurnal::new(10.0, 0.9, 20.0), &mut rng, horizon);
+    let rate = t.len() as f64 / horizon.as_secs_f64();
+    assert!((rate - 10.0).abs() < 0.5, "diurnal mean rate {rate}");
+
+    // Flash crowd: mean rate = base * (0.8 + 0.2 * spike).
+    let mut rng = SeedSplitter::new(5).stream("mmpp-stat");
+    let t = Trace::generate(&spec, &mut Mmpp::flash_crowd(5.0, 6.0), &mut rng, horizon);
+    let rate = t.len() as f64 / horizon.as_secs_f64();
+    assert!((rate - 10.0).abs() < 1.0, "flash-crowd mean rate {rate}");
+
+    // MMPP inter-arrival CV must exceed Poisson's (CV = 1).
+    let cv = |t: &Trace| {
+        let gaps: Vec<f64> = t
+            .requests
+            .windows(2)
+            .map(|w| w[1].arrival.saturating_since(w[0].arrival).as_secs_f64())
+            .collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gaps.len() as f64;
+        var.sqrt() / m
+    };
+    assert!(
+        cv(&t) > 1.2,
+        "flash crowd not burstier than Poisson: CV {}",
+        cv(&t)
+    );
+
+    // Pareto lengths: empirical mean near analytic (clamping shaves a
+    // little off the tail, hence the loose band).
+    let p = ParetoSpec::with_mean(160.0, 1.5, 4, 2048);
+    let mut rng = SeedSplitter::new(5).stream("pareto-stat");
+    let n = 100_000;
+    let emp = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+    assert!(
+        (emp - p.analytic_mean()).abs() / p.analytic_mean() < 0.15,
+        "Pareto empirical mean {emp} vs analytic {}",
+        p.analytic_mean()
+    );
+}
+
+/// Trace persistence is bit-exact: CSV and JSONL round trips reproduce
+/// every arrival nanosecond and token count.
+#[test]
+fn trace_round_trips_through_csv_and_jsonl_bit_exactly() {
+    let mut rng = SeedSplitter::new(17).stream("roundtrip");
+    let trace = Trace::generate(
+        &heavy_tail_like(),
+        &mut Mmpp::flash_crowd(6.0, 5.0),
+        &mut rng,
+        SimTime::from_secs(30),
+    );
+    let via_csv = Trace::from_csv(&trace.to_csv()).expect("csv parses");
+    assert_eq!(trace_fingerprint(&trace), trace_fingerprint(&via_csv));
+    let via_jsonl = Trace::from_jsonl(&trace.to_jsonl()).expect("jsonl parses");
+    assert_eq!(trace_fingerprint(&trace), trace_fingerprint(&via_jsonl));
+}
+
+/// An elastic run — planner-seeded [`heroserve::Autoscaler`], parking /
+/// unparking instances mid-run, online re-solves included — replays
+/// bit-identically, across repeats and nominal rayon thread counts.
+#[test]
+fn elastic_autoscaler_run_is_bit_identical() {
+    use heroserve::{AutoscaleConfig, Autoscaler};
+    use hs_cluster::batching::BatchPolicy;
+    use hs_cluster::{ClusterConfig, ClusterSim, InstanceSpec};
+    use hs_des::SimSpan;
+    use hs_model::profile::{fit, ProfileGrid};
+    use hs_model::{BatchStats, GpuModel};
+
+    let run = || {
+        let t = testbed();
+        let model = ModelConfig::opt_13b();
+        let fitted = fit(&GpuModel::a100(), &model, &ProfileGrid::default());
+        let mut nodes = t.all_gpus();
+        nodes.extend(&t.access_switches);
+        let ap = AllPairs::compute(&t.graph, &nodes, LinkWeight::Latency, None);
+        let slots = |server: usize| {
+            let g = &t.gpus_by_server[server];
+            vec![
+                InstanceSpec::tensor_parallel(g[..2].to_vec()),
+                InstanceSpec::tensor_parallel(g[2..].to_vec()),
+            ]
+        };
+        let mut prefill = slots(0);
+        prefill.extend(slots(2));
+        let mut decode = slots(1);
+        decode.extend(slots(3));
+        let cfg = ClusterConfig {
+            model: model.clone(),
+            coef: fitted.coefficients,
+            ttft_sla_s: 2.5,
+            tpot_sla_s: 0.15,
+            prefill,
+            decode,
+            batch: BatchPolicy::default(),
+            gpu_memory_bytes: 40 * (1 << 30),
+            monitor_period: SimSpan::from_millis(100),
+            ina_capacity_per_switch: 8,
+            background: None,
+            faults: FaultPlan::none(),
+        };
+        let mut rng = SeedSplitter::new(31).stream("elastic");
+        let mut arr = Mmpp::flash_crowd(30.0, 6.0);
+        let trace = Trace::generate(
+            &hs_workload::spec::fixed(256, 16),
+            &mut arr,
+            &mut rng,
+            SimTime::from_secs(10),
+        );
+        let mut input = PlannerInput::interleaved(
+            &t.graph,
+            model.clone(),
+            default_coefficients(&model),
+            BatchStats::uniform(8, 256, 16),
+            30.0,
+            2.5,
+            0.15,
+        );
+        input.force_prefill_parallelism = Some((2, 1));
+        input.force_decode_parallelism = Some((2, 1));
+        let out = plan(&input, SchemeSpace::Hybrid).expect("feasible seed plan");
+        let ctl = Autoscaler::from_plan(AutoscaleConfig::default(), &input, &out)
+            .with_expected_rate(30.0);
+        let strategy = hs_cluster::StaticStrategy::uniform(
+            "ring",
+            hs_collective::Scheme::Ring,
+            hs_cluster::BusyPolicy::FallbackRing,
+        );
+        let mut sim = ClusterSim::new(&t.graph, ap, cfg, &trace, Box::new(strategy));
+        sim.set_autoscaler(Box::new(ctl));
+        sim.run(SimTime::from_secs(40))
+    };
+    let a = run();
+    let base = report_json(&a);
+    assert!(
+        a.scale_ups + a.scale_downs > 0,
+        "autoscaler never acted — the test exercises nothing"
+    );
+    assert_eq!(
+        base,
+        report_json(&run()),
+        "elastic run differs across repeats"
+    );
+    for n in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", n);
+        let under = report_json(&run());
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(
+            base, under,
+            "elastic run differs under nominal thread count {n}"
         );
     }
 }
