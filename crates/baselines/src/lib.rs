@@ -299,7 +299,10 @@ impl Deployment {
         tracer: &hs_obs::Tracer,
         metrics: &hs_obs::MetricsRegistry,
     ) -> SimReport {
-        let margin = SimSpan::from_secs_f64((horizon.as_secs_f64() * 0.25).min(60.0));
+        let margin = horizon
+            .saturating_since(SimTime::ZERO)
+            .mul_f64(0.25)
+            .min(SimSpan::from_secs(60));
         let mut sim = ClusterSim::new(
             &self.topology.graph,
             self.all_pairs(),

@@ -82,6 +82,22 @@ impl SimTime {
         self.0 as f64 / 1e3
     }
 
+    /// Scale this instant by a non-negative float factor, staying in the
+    /// integer-nanosecond domain and rounding exactly once.
+    ///
+    /// This is the sanctioned way to scale a timestamp (e.g. trace time
+    /// dilation): round-tripping through `as_secs_f64`/`from_secs_f64`
+    /// rounds twice and loses low bits on large clocks, which breaks
+    /// bit-identical replays. Negative and non-finite factors clamp to
+    /// zero, matching `from_secs_f64`.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimTime {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((self.0 as f64 * factor).round().min(u64::MAX as f64) as u64)
+    }
+
     /// Saturating difference `self - earlier`.
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
@@ -174,6 +190,18 @@ impl SimSpan {
     #[inline]
     pub fn saturating_mul(self, factor: u64) -> SimSpan {
         SimSpan(self.0.saturating_mul(factor))
+    }
+
+    /// Scale the span by a non-negative float factor, staying in the
+    /// integer-nanosecond domain and rounding exactly once (see
+    /// [`SimTime::mul_f64`]). Negative and non-finite factors clamp to
+    /// zero.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimSpan {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan((self.0 as f64 * factor).round().min(u64::MAX as f64) as u64)
     }
 }
 
@@ -327,6 +355,33 @@ mod tests {
         let t = SimTime::from_secs_f64(1.5);
         assert_eq!(t.as_nanos(), 1_500_000_000);
         assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_f64_rounds_once_in_the_nanos_domain() {
+        // 1_000_000_013 × 1.5 = 1_500_000_019.5 exactly (both factors
+        // representable); rounding half away from zero gives …020. The
+        // f64-seconds round-trip this helper replaces rounds three times
+        // and lands on …019 — the 1 ns drift that breaks bit-identity.
+        let t = SimTime::from_nanos(1_000_000_013);
+        assert_eq!(t.mul_f64(1.5).as_nanos(), 1_500_000_020);
+        let via_secs = SimTime::from_secs_f64(t.as_secs_f64() * 1.5);
+        assert_eq!(via_secs.as_nanos(), 1_500_000_019);
+        let s = SimSpan::from_nanos(1_000_000_013);
+        assert_eq!(s.mul_f64(1.5).as_nanos(), 1_500_000_020);
+    }
+
+    #[test]
+    fn mul_f64_identity_and_clamps() {
+        // Below 2^53 the ns count is exactly representable, so scaling
+        // by 1.0 is the identity.
+        let t = SimTime::from_nanos(8_123_456_789_012_345);
+        assert_eq!(t.mul_f64(1.0), t);
+        assert_eq!(t.mul_f64(0.0), SimTime::ZERO);
+        assert_eq!(t.mul_f64(-2.0), SimTime::ZERO);
+        assert_eq!(t.mul_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimSpan::from_secs(4).mul_f64(0.25), SimSpan::from_secs(1));
+        assert_eq!(SimSpan::MAX.mul_f64(f64::INFINITY), SimSpan::ZERO);
     }
 
     #[test]

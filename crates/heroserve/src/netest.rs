@@ -502,6 +502,42 @@ mod tests {
         assert_eq!(sw, t.access_switches[0]);
     }
 
+    /// Unit-pinning regression for the bandwidth-estimate audit: every
+    /// transfer estimate in this module flows through
+    /// `path_transfer_secs`, whose contract is payload **bits** over a
+    /// **bits-per-second** capacity plus per-hop latency converted from
+    /// **nanoseconds**. If anyone ever feeds bytes to the rate (or ns to
+    /// the sum) the hand-derived expectation here breaks loudly.
+    #[test]
+    fn transfer_estimate_units_are_bits_per_second_and_nanoseconds() {
+        let (t, ap) = setup();
+        let src = t.all_gpus()[0];
+        let dst = t.access_switches[0];
+        let path = ap.path(src, dst);
+        assert!(!path.links.is_empty());
+        let bytes: u64 = 3 << 20;
+        let mut expect_s = 0.0;
+        for &l in &path.links {
+            let link = t.graph.link(l);
+            let payload_bits = bytes as f64 * 8.0;
+            expect_s += payload_bits / link.capacity_bps + link.latency_ns as f64 * 1e-9;
+        }
+        let got_s = path_transfer_secs(&t.graph, path, bytes, None);
+        assert!(
+            (got_s - expect_s).abs() < 1e-15,
+            "estimate {got_s} s != hand-derived {expect_s} s"
+        );
+        // Scale sanity: the serialization term must dominate pure
+        // propagation for a MiB-scale payload, and a byte-as-bit slip
+        // (×8 off) would leave this window.
+        let prop_s: f64 = path
+            .links
+            .iter()
+            .map(|&l| t.graph.link(l).latency_ns as f64 * 1e-9)
+            .sum();
+        assert!(got_s > prop_s && got_s < 1.0, "got {got_s} s");
+    }
+
     #[test]
     fn hybrid_space_beats_ring_only() {
         let (t, ap) = setup();

@@ -84,8 +84,8 @@ pub fn build_policies(
         }
         // Bytes each *directed* link carries across the whole plan (full
         // duplex: the two directions are independent pools).
-        let mut per_dir: rustc_hash::FxHashMap<(LinkId, bool), u64> =
-            rustc_hash::FxHashMap::default();
+        let mut per_dir: std::collections::BTreeMap<(LinkId, bool), u64> =
+            std::collections::BTreeMap::new();
         for phase in &plan.phases {
             for (ls, bytes) in &phase.transfers {
                 for &d in ls {

@@ -164,7 +164,10 @@ impl HeroServe {
     /// drain margin of 25 % (capped at 60 s) so in-flight requests can
     /// finish.
     pub fn serve(&self, trace: &Trace, horizon: SimTime) -> SimReport {
-        let margin = SimSpan::from_secs_f64((horizon.as_secs_f64() * 0.25).min(60.0));
+        let margin = horizon
+            .saturating_since(SimTime::ZERO)
+            .mul_f64(0.25)
+            .min(SimSpan::from_secs(60));
         let mut sim = ClusterSim::new(
             &self.topology.graph,
             self.all_pairs(),

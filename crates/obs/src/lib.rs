@@ -21,6 +21,17 @@ pub mod export;
 pub mod metrics;
 pub mod tracer;
 
+/// Acquire `m`, recovering the data if a previous holder panicked.
+///
+/// Observability must never turn a simulation panic into a second,
+/// unrelated poisoned-lock panic (e.g. a drop-time metrics flush while
+/// the first panic unwinds). Every store operation completes atomically
+/// under the lock — appends and in-place scalar updates — so the data is
+/// structurally intact even when a holder unwound mid-turn.
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 pub use event::{track, Ph, Record, Val};
 pub use export::{chrome_trace, jsonl};
 pub use metrics::{

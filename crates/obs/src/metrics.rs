@@ -96,7 +96,7 @@ impl MetricsRegistry {
         let Some(store) = &self.store else {
             return CounterId(usize::MAX);
         };
-        let mut s = store.lock().unwrap();
+        let mut s = crate::lock(store);
         if let Some(i) = s.counters.iter().position(|(n, _)| n == name) {
             return CounterId(i);
         }
@@ -108,7 +108,7 @@ impl MetricsRegistry {
         let Some(store) = &self.store else {
             return GaugeId(usize::MAX);
         };
-        let mut s = store.lock().unwrap();
+        let mut s = crate::lock(store);
         if let Some(i) = s.gauges.iter().position(|(n, _)| n == name) {
             return GaugeId(i);
         }
@@ -122,7 +122,7 @@ impl MetricsRegistry {
         let Some(store) = &self.store else {
             return HistogramId(usize::MAX);
         };
-        let mut s = store.lock().unwrap();
+        let mut s = crate::lock(store);
         if let Some(i) = s.histograms.iter().position(|h| h.name == name) {
             return HistogramId(i);
         }
@@ -139,7 +139,7 @@ impl MetricsRegistry {
 
     pub fn inc(&self, id: CounterId, by: u64) {
         if let Some(store) = &self.store {
-            let mut s = store.lock().unwrap();
+            let mut s = crate::lock(store);
             if let Some((_, v)) = s.counters.get_mut(id.0) {
                 *v = v.saturating_add(by);
             }
@@ -148,7 +148,7 @@ impl MetricsRegistry {
 
     pub fn set_gauge(&self, id: GaugeId, value: f64) {
         if let Some(store) = &self.store {
-            let mut s = store.lock().unwrap();
+            let mut s = crate::lock(store);
             if let Some((_, v)) = s.gauges.get_mut(id.0) {
                 *v = value;
             }
@@ -157,7 +157,7 @@ impl MetricsRegistry {
 
     pub fn observe(&self, id: HistogramId, value: f64) {
         if let Some(store) = &self.store {
-            let mut s = store.lock().unwrap();
+            let mut s = crate::lock(store);
             if let Some(h) = s.histograms.get_mut(id.0) {
                 let bucket = h
                     .bounds
@@ -176,7 +176,7 @@ impl MetricsRegistry {
     /// Record a point-in-time copy of all counters and gauges.
     pub fn snapshot(&self, t: SimTime) {
         if let Some(store) = &self.store {
-            let mut s = store.lock().unwrap();
+            let mut s = crate::lock(store);
             let snap = Snapshot {
                 t,
                 counters: s.counters.clone(),
@@ -189,7 +189,7 @@ impl MetricsRegistry {
     /// Append one per-link utilization sample (from `hs-simnet`'s monitor).
     pub fn record_link_util(&self, t: SimTime, util: &[f64]) {
         if let Some(store) = &self.store {
-            store.lock().unwrap().link_util.push(LinkUtilSample {
+            crate::lock(store).link_util.push(LinkUtilSample {
                 t,
                 util: util.to_vec(),
             });
@@ -198,19 +198,19 @@ impl MetricsRegistry {
 
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         let store = self.store.as_ref()?;
-        let s = store.lock().unwrap();
+        let s = crate::lock(store);
         s.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         let store = self.store.as_ref()?;
-        let s = store.lock().unwrap();
+        let s = crate::lock(store);
         s.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     pub fn histogram_view(&self, name: &str) -> Option<HistogramView> {
         let store = self.store.as_ref()?;
-        let s = store.lock().unwrap();
+        let s = crate::lock(store);
         s.histograms
             .iter()
             .find(|h| h.name == name)
@@ -226,13 +226,13 @@ impl MetricsRegistry {
     pub fn snapshots(&self) -> Vec<Snapshot> {
         self.store
             .as_ref()
-            .map_or_else(Vec::new, |s| s.lock().unwrap().snapshots.clone())
+            .map_or_else(Vec::new, |s| crate::lock(s).snapshots.clone())
     }
 
     pub fn link_util_series(&self) -> Vec<LinkUtilSample> {
         self.store
             .as_ref()
-            .map_or_else(Vec::new, |s| s.lock().unwrap().link_util.clone())
+            .map_or_else(Vec::new, |s| crate::lock(s).link_util.clone())
     }
 
     /// Dump the registry (current values, snapshots, link-util series) as a
@@ -241,7 +241,7 @@ impl MetricsRegistry {
         let Some(store) = &self.store else {
             return "{}".to_owned();
         };
-        let s = store.lock().unwrap();
+        let s = crate::lock(store);
         let mut out = String::from("{\"counters\":{");
         for (i, (n, v)) in s.counters.iter().enumerate() {
             if i > 0 {
@@ -314,6 +314,28 @@ mod tests {
         assert!(m.snapshots().is_empty());
         assert!(m.link_util_series().is_empty());
         assert_eq!(m.to_json(), "{}");
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        // A panic while holding the store lock (e.g. a simulation panic
+        // unwinding through an instrumented call) must not cascade into
+        // poisoned-lock panics from every later metrics call — that
+        // would mask the original failure.
+        let m = MetricsRegistry::recording();
+        let c = m.counter("events");
+        m.inc(c, 2);
+        let store = m.store.clone().expect("recording registry has a store");
+        std::thread::spawn(move || {
+            let _guard = store.lock().expect("first holder acquires cleanly");
+            panic!("poison the store lock");
+        })
+        .join()
+        .expect_err("the poisoning thread panics");
+        // Reads and writes keep working on the intact data.
+        assert_eq!(m.counter_value("events"), Some(2));
+        m.inc(c, 3);
+        assert_eq!(m.counter_value("events"), Some(5));
     }
 
     #[test]

@@ -44,13 +44,13 @@ impl Tracer {
     #[inline]
     pub fn emit(&self, rec: Record) {
         if let Some(sink) = &self.sink {
-            sink.lock().unwrap().push(rec);
+            crate::lock(sink).push(rec);
         }
     }
 
     /// Number of records collected so far.
     pub fn len(&self) -> usize {
-        self.sink.as_ref().map_or(0, |s| s.lock().unwrap().len())
+        self.sink.as_ref().map_or(0, |s| crate::lock(s).len())
     }
 
     pub fn is_empty(&self) -> bool {
@@ -61,14 +61,14 @@ impl Tracer {
     pub fn records(&self) -> Vec<Record> {
         self.sink
             .as_ref()
-            .map_or_else(Vec::new, |s| s.lock().unwrap().clone())
+            .map_or_else(Vec::new, |s| crate::lock(s).clone())
     }
 
     /// Drain collected records, leaving the buffer empty.
     pub fn take(&self) -> Vec<Record> {
         self.sink
             .as_ref()
-            .map_or_else(Vec::new, |s| std::mem::take(&mut *s.lock().unwrap()))
+            .map_or_else(Vec::new, |s| std::mem::take(&mut *crate::lock(s)))
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,9 @@
+//! Known-bad: parallel float reduction. Rayon splits the slice by thread
+//! count, so the addition order — and therefore the rounded sum — varies
+//! from run to run. Collect into an ordered `Vec` and reduce sequentially.
+
+use rayon::prelude::*;
+
+pub fn total_latency(samples: &[f64]) -> f64 {
+    samples.par_iter().map(|s| s * 2.0).sum::<f64>()
+}

@@ -1,0 +1,10 @@
+//! Known-bad: rebuilds a simulation timestamp from another timestamp's
+//! float seconds. `SimTime` is integer nanoseconds; the f64 round-trip
+//! loses low bits on large clocks and breaks bit-identical replays.
+//! Stay in integer math: `now + SimSpan::...` or a des-provided helper.
+
+use hs_des::SimTime;
+
+pub fn shifted(now: SimTime, dt_s: f64) -> SimTime {
+    SimTime::from_secs_f64(now.as_secs_f64() + dt_s)
+}

@@ -1,0 +1,8 @@
+//! Known-bad: adds a float-seconds wait to a nanosecond queue delay.
+//! Both live in one `f64`, so nothing fails — the total is just wrong by
+//! nine orders of magnitude. Cross-dimension arithmetic needs an explicit
+//! conversion call (`nanos_to_secs(...)`, `path_transfer_secs(...)`).
+
+pub fn total_wait(wait_s: f64, queue_delay_ns: f64) -> f64 {
+    wait_s + queue_delay_ns
+}

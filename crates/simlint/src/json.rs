@@ -1,0 +1,312 @@
+//! Minimal JSON support for the report and the waiver ledger.
+//!
+//! simlint is deliberately zero-dependency (it must build and run as a CI
+//! gate even when the rest of the workspace — including the vendored
+//! stand-in crates — is broken), so it carries its own ~150-line JSON
+//! subset: objects, arrays, strings with the common escapes, integers,
+//! and booleans. That is exactly what `simlint.waivers.json` and the
+//! `--json` report need; floats and exotic escapes are out of scope.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Object keys are `BTreeMap`-ordered so emission is
+/// deterministic — the report itself must pass the workspace's own
+/// reproducibility bar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (the only numeric shape the ledger/report use).
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with deterministically ordered keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string_pretty(self, 0))
+    }
+}
+
+/// Pretty-print with two-space indentation (stable across runs).
+pub fn to_string_pretty(v: &Json, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Int(n) => n.to_string(),
+        Json::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            escape(s, &mut out);
+            out.push('"');
+            out
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                return "[]".into();
+            }
+            let body: Vec<String> = items
+                .iter()
+                .map(|it| format!("{pad_in}{}", to_string_pretty(it, indent + 1)))
+                .collect();
+            format!("[\n{}\n{pad}]", body.join(",\n"))
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                return "{}".into();
+            }
+            let body: Vec<String> = map
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::new();
+                    escape(k, &mut key);
+                    format!("{pad_in}\"{key}\": {}", to_string_pretty(val, indent + 1))
+                })
+                .collect();
+            format!("{{\n{}\n{pad}}}", body.join(",\n"))
+        }
+    }
+}
+
+/// Parse a JSON document. Returns a message describing the first error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = match parse_value(chars, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(chars, pos);
+                if chars.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(chars, pos)?;
+                map.insert(key, val);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < chars.len() {
+                match chars[*pos] {
+                    '"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *pos += 1;
+                        match chars.get(*pos) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('u') => {
+                                let hex: String = chars.iter().skip(*pos + 1).take(4).collect();
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(c) if c.is_ascii_digit() || *c == '-' => {
+            let start = *pos;
+            if chars[*pos] == '-' {
+                *pos += 1;
+            }
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        }
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) => Err(format!("unexpected character `{c}` at offset {pos}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = Json::obj(vec![
+            ("budget", Json::Int(3)),
+            (
+                "waivers",
+                Json::Arr(vec![Json::obj(vec![
+                    ("file", Json::Str("a/b.rs".into())),
+                    ("rule", Json::Str("unwrap".into())),
+                    ("ok", Json::Bool(true)),
+                ])]),
+            ),
+            ("note", Json::Str("line1\nline2 \"quoted\"".into())),
+        ]);
+        let text = to_string_pretty(&v, 0);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} extra").is_err());
+    }
+
+    #[test]
+    fn negative_and_empty() {
+        assert_eq!(parse("-42").expect("int"), Json::Int(-42));
+        assert_eq!(parse("[]").expect("arr"), Json::Arr(vec![]));
+        assert_eq!(parse("{}").expect("obj"), Json::Obj(BTreeMap::new()));
+    }
+}

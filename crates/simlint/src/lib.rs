@@ -1,11 +1,11 @@
-//! `hs-simlint`: source-level static analysis for the simulation domain.
+//! `hs-simlint` v2: token-aware static analysis for the simulation domain.
 //!
-//! The planner/scheduler comparisons in this workspace are only meaningful
-//! if a given `(seed, workload, topology)` produces a bit-identical
-//! `SimReport`. Stock clippy cannot express the rules that protect that
-//! property, so this crate walks the sim-domain crates (`des`, `simnet`,
-//! `cluster`, `switch`, `collective`, `heroserve`) and enforces them at
-//! the source level:
+//! Every headline result in this workspace (fig_kv, fig_autoscale,
+//! scale_1m) rests on bit-identical replays of a `(seed, workload,
+//! topology)` triple. Stock clippy cannot express the rules that protect
+//! that property, so this crate lexes every workspace crate into a real
+//! token stream ([`lexer`]) and enforces per-crate rule profiles at the
+//! source level:
 //!
 //! | rule              | what it rejects                                              |
 //! |-------------------|--------------------------------------------------------------|
@@ -15,6 +15,19 @@
 //! | `float-eq`        | `==` / `!=` on latency/cost-style floats or float literals   |
 //! | `nanos-narrowing` | `as` casts of nanosecond quantities to narrower types        |
 //! | `unwrap`          | `.unwrap()` / `.expect("")` in non-test library code         |
+//! | `units-mixing`    | cross-dimension arithmetic (`_bps` vs `_bytes` vs `_s` …)    |
+//! | `sim-time-arith`  | sim timestamps round-tripped through raw f64 math            |
+//! | `nondet-reduce`   | order-sensitive parallel float reductions over `par_iter`    |
+//! | `lock-in-sim`     | `Mutex`/`RwLock`/atomics where shard-local state is the law  |
+//!
+//! The last four are new in v2 and need the token stream: `units-mixing`
+//! infers a dimension for each operand of a binary expression from
+//! identifier suffixes (`_bps`, `_bytes`, `_tokens`, `_s`, `_ns`, …),
+//! declared `SimTime`/`SimSpan` types, and known conversion calls
+//! (`as_secs_f64`, `path_transfer_secs`, …), and rejects cross-dimension
+//! `+`/`-`/comparisons plus the classic bytes-divided-by-bits-per-second
+//! slip. An explicit conversion call is the sanctioned escape hatch — its
+//! name carries the result dimension, so converted operands compare clean.
 //!
 //! A site that is genuinely safe can carry an explicit waiver:
 //!
@@ -22,35 +35,24 @@
 //! // simlint::allow(unordered-iter, keys copied out and sorted before use)
 //! ```
 //!
-//! on the offending line or on the comment line directly above it. The
-//! reason is mandatory — `simlint::allow(rule)` without a reason does not
-//! suppress the finding.
-//!
-//! The analysis is line-oriented and deliberately heuristic: string and
-//! char literals and comments are blanked (length-preserving) before
-//! matching, `#[cfg(test)]` regions are skipped by brace counting, and
-//! hash-container variables are tracked per file from their declaration
-//! sites. That is enough to be exact on this codebase while staying
-//! dependency-free; it is not a general Rust parser.
+//! on the offending line or the comment line directly above it. The reason
+//! is mandatory, and v2 adds a second gate: every waiver must also appear
+//! in the committed ledger `simlint.waivers.json`, whose pinned `budget`
+//! may only shrink over time (the ratchet). Stale annotations and stale
+//! ledger entries are themselves violations, so the waiver set cannot
+//! silently grow or rot. See DESIGN.md §14.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose `src/` trees are subject to simulation-domain rules.
-///
-/// `bench` is excluded on purpose (wall-clock measurement is its job), as
-/// are `obs`, `topology`, `model`, `workload`, and `baselines`, which hold
-/// no event-ordering or clock-domain logic.
-pub const SIM_DOMAIN_CRATES: &[&str] = &[
-    "des",
-    "simnet",
-    "cluster",
-    "switch",
-    "collective",
-    "heroserve",
-];
+pub mod json;
+pub mod lexer;
+
+use json::Json;
+use lexer::{lex, skip_balanced, skip_balanced_back, Lexed, TokKind, Token};
 
 /// The rule families simlint enforces.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -67,6 +69,19 @@ pub enum Rule {
     NanosNarrowing,
     /// `.unwrap()` / message-less `.expect` in non-test library code.
     Unwrap,
+    /// Arithmetic/comparison across physical dimensions without an
+    /// explicit conversion call (bits-per-second vs bytes vs tokens vs
+    /// seconds vs nanoseconds vs `SimTime`).
+    UnitsMixing,
+    /// Simulation timestamps reconstructed from raw f64 seconds math
+    /// outside `hs-des` (the integer-nanosecond clock's home crate).
+    SimTimeArith,
+    /// Order-sensitive parallel float reduction (`par_iter()` feeding
+    /// `sum::<f64>()` / `fold` / `reduce` / hash-ordered `collect`).
+    NondetReduce,
+    /// Shared-state synchronization (`Mutex`/`RwLock`/atomics) in
+    /// event-loop code where shard-local state is the sanctioned pattern.
+    LockInSim,
 }
 
 impl Rule {
@@ -78,6 +93,10 @@ impl Rule {
         Rule::FloatEq,
         Rule::NanosNarrowing,
         Rule::Unwrap,
+        Rule::UnitsMixing,
+        Rule::SimTimeArith,
+        Rule::NondetReduce,
+        Rule::LockInSim,
     ];
 
     /// The kebab-case name used in reports and `simlint::allow(...)`.
@@ -89,6 +108,10 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::NanosNarrowing => "nanos-narrowing",
             Rule::Unwrap => "unwrap",
+            Rule::UnitsMixing => "units-mixing",
+            Rule::SimTimeArith => "sim-time-arith",
+            Rule::NondetReduce => "nondet-reduce",
+            Rule::LockInSim => "lock-in-sim",
         }
     }
 
@@ -118,6 +141,23 @@ impl Rule {
                 "hot-path library code must fail gracefully or document the \
                  invariant in an expect() message"
             }
+            Rule::UnitsMixing => {
+                "bits/bytes/tokens/seconds/nanos live in one f64; mixing them \
+                 silently corrupts bandwidth estimates — convert explicitly"
+            }
+            Rule::SimTimeArith => {
+                "timestamps round-tripped through f64 seconds lose nanosecond \
+                 bits; stay in integer SimTime/SimSpan outside hs-des"
+            }
+            Rule::NondetReduce => {
+                "parallel float reduction order varies with thread count; \
+                 collect to an ordered Vec and reduce sequentially"
+            }
+            Rule::LockInSim => {
+                "locks and atomics in event-loop code hide cross-thread \
+                 ordering; sim state must be shard-local and merged \
+                 deterministically"
+            }
         }
     }
 }
@@ -127,6 +167,138 @@ impl fmt::Display for Rule {
         f.write_str(self.name())
     }
 }
+
+/// Which rules apply to one workspace crate.
+#[derive(Clone, Copy, Debug)]
+pub struct CrateProfile {
+    /// Directory name under `crates/`.
+    pub krate: &'static str,
+    /// Rules enforced for this crate's `src/` tree.
+    pub rules: &'static [Rule],
+}
+
+/// Every rule (alias for profile tables).
+const ALL10: &[Rule] = Rule::ALL;
+
+/// Per-crate rule profiles — the whole workspace is covered, with
+/// exemptions that are themselves documented policy:
+///
+/// * `des` owns the integer-nanosecond clock, so `sim-time-arith` (which
+///   polices f64 round-trips *outside* the clock's home) does not apply.
+/// * `workload` draws from seeded RNG streams and deals in arrival
+///   seconds; it gets `os-rng`/`wall-clock` but not `unordered-iter`
+///   (its containers are slices and BTreeMaps by construction).
+/// * `obs` aggregates across real threads by design, so `lock-in-sim`
+///   and `nondet-reduce` do not apply; it still must not read clocks or
+///   unseeded RNG, and its unwraps must be reasoned.
+/// * `bench` keeps its wall-clock exemption (measurement is its job).
+pub const PROFILES: &[CrateProfile] = &[
+    CrateProfile {
+        krate: "des",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::UnorderedIter,
+            Rule::FloatEq,
+            Rule::NanosNarrowing,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+            Rule::NondetReduce,
+            Rule::LockInSim,
+        ],
+    },
+    CrateProfile {
+        krate: "simnet",
+        rules: ALL10,
+    },
+    CrateProfile {
+        krate: "cluster",
+        rules: ALL10,
+    },
+    CrateProfile {
+        krate: "switch",
+        rules: ALL10,
+    },
+    CrateProfile {
+        krate: "collective",
+        rules: ALL10,
+    },
+    CrateProfile {
+        krate: "heroserve",
+        rules: ALL10,
+    },
+    CrateProfile {
+        krate: "workload",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::FloatEq,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+            Rule::SimTimeArith,
+            Rule::NondetReduce,
+        ],
+    },
+    CrateProfile {
+        krate: "obs",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+        ],
+    },
+    CrateProfile {
+        krate: "model",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::FloatEq,
+            Rule::NanosNarrowing,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+        ],
+    },
+    CrateProfile {
+        krate: "topology",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::UnorderedIter,
+            Rule::FloatEq,
+            Rule::NanosNarrowing,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+        ],
+    },
+    CrateProfile {
+        krate: "baselines",
+        rules: &[
+            Rule::WallClock,
+            Rule::OsRng,
+            Rule::UnorderedIter,
+            Rule::Unwrap,
+            Rule::UnitsMixing,
+            Rule::SimTimeArith,
+        ],
+    },
+    CrateProfile {
+        krate: "bench",
+        rules: &[Rule::OsRng, Rule::UnitsMixing, Rule::NondetReduce],
+    },
+    // simlint's own source necessarily names `OsRng` as an identifier
+    // (the `Rule::OsRng` variant), so the os-rng rule cannot apply to it;
+    // the other determinism rules do.
+    CrateProfile {
+        krate: "simlint",
+        rules: &[
+            Rule::WallClock,
+            Rule::Unwrap,
+            Rule::NondetReduce,
+            Rule::LockInSim,
+        ],
+    },
+];
 
 /// One rule violation at a specific source line.
 #[derive(Clone, Debug)]
@@ -151,185 +323,1032 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A parsed `simlint::allow(rule, reason)` annotation.
+/// One `simlint::allow(rule, reason)` annotation found in source.
+#[derive(Clone, Debug)]
+pub struct WaiverSite {
+    /// Path as reported.
+    pub file: String,
+    /// 1-based line the waiver *applies to* (the code line).
+    pub line: usize,
+    /// The waived rule.
+    pub rule: Rule,
+    /// The stated reason (empty = invalid annotation; does not suppress).
+    pub reason: String,
+    /// Whether the waiver actually suppressed a finding.
+    pub used: bool,
+}
+
+/// Result of linting one file.
+#[derive(Default)]
+pub struct FileAnalysis {
+    /// Surviving findings (waived ones removed).
+    pub findings: Vec<Finding>,
+    /// Every waiver annotation encountered, with usage marked.
+    pub waivers: Vec<WaiverSite>,
+}
+
+// ---------------------------------------------------------------------------
+// Dimension inference
+// ---------------------------------------------------------------------------
+
+/// Physical dimension inferred for an operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dim {
+    /// Link rate in bits per second (`_bps`).
+    BitsPerSec,
+    /// Link rate in gigabits per second (`_gbps`) — scale bugs vs `_bps`
+    /// are real, so this is a distinct dimension.
+    Gbps,
+    /// Byte counts (`_bytes`, `bytes`).
+    Bytes,
+    /// Token counts (`_tokens`, `tokens`).
+    Tokens,
+    /// Float seconds (`_s`, `_secs`).
+    Secs,
+    /// Float milliseconds (`_ms`).
+    Millis,
+    /// Float microseconds (`_us`).
+    Micros,
+    /// Integer nanoseconds (`_ns`, `nanos`).
+    Nanos,
+    /// The `SimTime`/`SimSpan` clock types (integer nanoseconds, typed).
+    SimTime,
+}
+
+impl Dim {
+    fn describe(self) -> &'static str {
+        match self {
+            Dim::BitsPerSec => "bits/s",
+            Dim::Gbps => "Gbit/s",
+            Dim::Bytes => "bytes",
+            Dim::Tokens => "tokens",
+            Dim::Secs => "seconds",
+            Dim::Millis => "milliseconds",
+            Dim::Micros => "microseconds",
+            Dim::Nanos => "nanoseconds",
+            Dim::SimTime => "SimTime/SimSpan",
+        }
+    }
+}
+
+/// Dimension carried by an identifier's *name* (suffix convention), used
+/// for variables, fields, and conversion-function results alike. A
+/// conversion call like `path_transfer_secs(...)` is the sanctioned way
+/// to move between dimensions: the call's name declares its result.
+fn dim_of_name(name: &str) -> Option<Dim> {
+    // Known clock conversion methods first (names the suffix pass would
+    // misread or miss).
+    match name {
+        "SimTime" | "SimSpan" => return Some(Dim::SimTime),
+        "as_secs_f64" => return Some(Dim::Secs),
+        "as_millis_f64" => return Some(Dim::Millis),
+        "as_micros_f64" => return Some(Dim::Micros),
+        "as_nanos" => return Some(Dim::Nanos),
+        "saturating_since" => return Some(Dim::SimTime),
+        _ => {}
+    }
+    if name.ends_with("_gbps") {
+        Some(Dim::Gbps)
+    } else if name.ends_with("_bps") {
+        Some(Dim::BitsPerSec)
+    } else if name.ends_with("_bytes") || name == "bytes" {
+        Some(Dim::Bytes)
+    } else if name.ends_with("_tokens") || name == "tokens" {
+        Some(Dim::Tokens)
+    } else if name.ends_with("_ns") || name.ends_with("_nanos") || name == "nanos" {
+        Some(Dim::Nanos)
+    } else if name.ends_with("_us") || name.ends_with("_micros") {
+        Some(Dim::Micros)
+    } else if name.ends_with("_ms") || name.ends_with("_millis") {
+        Some(Dim::Millis)
+    } else if name.ends_with("_s") || name.ends_with("_secs") || name.ends_with("_sec") {
+        Some(Dim::Secs)
+    } else {
+        None
+    }
+}
+
+/// `SimTime`/`SimSpan` constructors produce the typed clock value, not
+/// the float dimension their name suggests.
+const CLOCK_CONSTRUCTORS: &[&str] = &[
+    "from_secs_f64",
+    "from_secs",
+    "from_millis",
+    "from_micros",
+    "from_nanos",
+];
+
+/// Primitive types an `as` cast can target (dimension flows through).
+const PRIM_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Identifier suffixes that mark latency/cost-style float quantities for
+/// the `float-eq` rule.
+const FLOAT_SUFFIXES: &[&str] = &[
+    "_s", "_secs", "_ms", "_us", "_bps", "_gbps", "_rps", "_util", "_frac",
+];
+
+const HASH_TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_bridge",
+    "par_chunks",
+    "par_windows",
+    "par_drain",
+];
+
+const SYNC_PRIMITIVES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+// ---------------------------------------------------------------------------
+// Token-stream context
+// ---------------------------------------------------------------------------
+
+/// Preprocessed per-file context shared by all rules.
+struct FileCtx<'a> {
+    tokens: &'a [Token],
+    /// Token is inside a `#[cfg(test)]` item or `#[test]` fn.
+    in_test: Vec<bool>,
+    /// Token is inside a `use …;` declaration.
+    in_use: Vec<bool>,
+    /// Hash-container variable/field names declared in non-test code.
+    containers: Vec<String>,
+    /// Variables/fields declared with a `SimTime`/`SimSpan` type.
+    clock_vars: Vec<String>,
+}
+
+fn ident_list(tokens: &[Token]) -> Vec<&str> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+/// Mark tokens covered by test-only items (`#[cfg(test)]` / `#[test]`,
+/// including `#[cfg(all(test, …))]`, excluding `#[cfg(not(test))]`).
+fn mark_tests(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_op("#") && tokens[i + 1].is_op("[") {
+            let end_attr = skip_balanced(tokens, i + 1);
+            let inner = ident_list(&tokens[i + 2..end_attr.saturating_sub(1)]);
+            let is_test = inner.as_slice() == ["test"]
+                || (inner.contains(&"cfg") && inner.contains(&"test") && !inner.contains(&"not"));
+            if is_test {
+                // Skip any further attributes, then mark through the item.
+                let mut j = end_attr;
+                while j + 1 < tokens.len() && tokens[j].is_op("#") && tokens[j + 1].is_op("[") {
+                    j = skip_balanced(tokens, j + 1);
+                }
+                // Find the item's body `{` (or terminating `;`) at
+                // delimiter depth 0 — parens/brackets in the signature
+                // (e.g. `fn t(a: [u8; 4])`) are skipped whole.
+                let mut k = j;
+                let mut end = tokens.len();
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "(" | "[" => {
+                            k = skip_balanced(tokens, k);
+                        }
+                        "{" => {
+                            end = skip_balanced(tokens, k);
+                            break;
+                        }
+                        ";" => {
+                            end = k + 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                for flag in flags.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+            i = end_attr;
+            continue;
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Mark tokens inside `use …;` declarations (type names there are not
+/// usage sites).
+fn mark_uses(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            let start = i;
+            while i < tokens.len() && !tokens[i].is_op(";") {
+                i += 1;
+            }
+            for flag in flags.iter_mut().take((i + 1).min(tokens.len())).skip(start) {
+                *flag = true;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Collect declared names of interest: hash containers and clock-typed
+/// variables. Declaration shapes recognized: `name: [&][mut] [path::]Type`
+/// and `[let [mut]] name = [path::]Type::…`.
+fn collect_decls(tokens: &[Token], in_test: &[bool], types: &[&str], out: &mut Vec<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test[i] || !types.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over a `path::` prefix.
+        let mut b = i;
+        while b >= 2 && tokens[b - 1].is_op("::") && tokens[b - 2].kind == TokKind::Ident {
+            b -= 2;
+        }
+        // Walk back over `&`, `&mut`, `&'a mut`.
+        let mut p = b;
+        while p >= 1 {
+            let prev = &tokens[p - 1];
+            if prev.is_op("&") || prev.is_ident("mut") || prev.kind == TokKind::Lifetime {
+                p -= 1;
+            } else {
+                break;
+            }
+        }
+        let name = if p >= 2
+            && (tokens[p - 1].is_op(":") || tokens[p - 1].is_op("="))
+            && tokens[p - 2].kind == TokKind::Ident
+        {
+            Some(tokens[p - 2].text.clone())
+        } else {
+            None
+        };
+        if let Some(n) = name {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    }
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(lexed: &'a Lexed) -> Self {
+        let tokens = lexed.tokens.as_slice();
+        let in_test = mark_tests(tokens);
+        let in_use = mark_uses(tokens);
+        let mut containers = Vec::new();
+        collect_decls(tokens, &in_test, HASH_TYPES, &mut containers);
+        let mut clock_vars = Vec::new();
+        collect_decls(tokens, &in_test, &["SimTime", "SimSpan"], &mut clock_vars);
+        FileCtx {
+            tokens,
+            in_test,
+            in_use,
+            containers,
+            clock_vars,
+        }
+    }
+
+    /// Dimension of the operand ending at token index `end` (inclusive),
+    /// walking backward over casts, calls, indexing, and field paths.
+    fn dim_before(&self, end: usize) -> Option<Dim> {
+        let t = &self.tokens[end];
+        // `expr as f64` — dimension flows through the cast.
+        if t.kind == TokKind::Ident && PRIM_TYPES.contains(&t.text.as_str()) {
+            if end >= 1 && self.tokens[end - 1].is_ident("as") {
+                return if end >= 2 {
+                    self.dim_before(end - 2)
+                } else {
+                    None
+                };
+            }
+            return None;
+        }
+        // Call or index result: `path(...)` / `recv[...]`.
+        if t.is_op(")") || t.is_op("]") {
+            let open = skip_balanced_back(self.tokens, end);
+            if open == 0 {
+                return None;
+            }
+            let head = open - 1;
+            if self.tokens[head].kind != TokKind::Ident {
+                return None;
+            }
+            let name = self.tokens[head].text.as_str();
+            if t.is_op("]") {
+                // Indexing: dimension of the receiver variable.
+                return self.var_dim(name);
+            }
+            // Call: conversion-function result. Clock constructors need
+            // their type prefix to resolve to the typed clock value.
+            if CLOCK_CONSTRUCTORS.contains(&name) {
+                if head >= 2
+                    && self.tokens[head - 1].is_op("::")
+                    && (self.tokens[head - 2].is_ident("SimTime")
+                        || self.tokens[head - 2].is_ident("SimSpan"))
+                {
+                    return Some(Dim::SimTime);
+                }
+                return None;
+            }
+            return dim_of_name(name);
+        }
+        if t.kind == TokKind::Ident {
+            if t.is_ident("as") || PRIM_TYPES.contains(&t.text.as_str()) {
+                return None;
+            }
+            return self.var_dim(&t.text);
+        }
+        None
+    }
+
+    /// Dimension of the operand starting at token index `start`, walking
+    /// forward over references, paths, calls, and method chains; the
+    /// *last* segment of the chain decides.
+    fn dim_after(&self, start: usize) -> Option<Dim> {
+        let mut i = start;
+        // Skip leading `&`, `*`, unary `-`, `mut`.
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.is_op("&") || t.is_op("*") || t.is_op("-") || t.is_ident("mut") {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        if i >= self.tokens.len() || self.tokens[i].kind != TokKind::Ident {
+            return None;
+        }
+        // Walk the longest `a::b.c(…).d` chain, remembering the last
+        // named segment and whether it was called.
+        let mut last_name = self.tokens[i].text.clone();
+        let mut last_called = false;
+        let mut prev_seg: Option<String> = None;
+        let mut j = i + 1;
+        while j < self.tokens.len() {
+            let t = &self.tokens[j];
+            if t.is_op("::") || t.is_op(".") {
+                if j + 1 < self.tokens.len() && self.tokens[j + 1].kind == TokKind::Ident {
+                    prev_seg = Some(std::mem::replace(
+                        &mut last_name,
+                        self.tokens[j + 1].text.clone(),
+                    ));
+                    last_called = false;
+                    j += 2;
+                    continue;
+                }
+                // Tuple index (`x.0`) — keep going, segment is unnamed.
+                if j + 1 < self.tokens.len() && self.tokens[j + 1].kind == TokKind::Int {
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+            if t.is_op("(") {
+                last_called = true;
+                j = skip_balanced(self.tokens, j);
+                continue;
+            }
+            if t.is_op("[") {
+                j = skip_balanced(self.tokens, j);
+                continue;
+            }
+            break;
+        }
+        if last_called {
+            if CLOCK_CONSTRUCTORS.contains(&last_name.as_str()) {
+                return match prev_seg.as_deref() {
+                    Some("SimTime") | Some("SimSpan") => Some(Dim::SimTime),
+                    _ => None,
+                };
+            }
+            return dim_of_name(&last_name);
+        }
+        self.var_dim(&last_name)
+    }
+
+    /// Dimension of a plain variable/field reference: declared clock
+    /// types first, then the name-suffix convention.
+    fn var_dim(&self, name: &str) -> Option<Dim> {
+        if self.clock_vars.iter().any(|v| v == name) {
+            return Some(Dim::SimTime);
+        }
+        // Type names used as values (e.g. `SimTime::ZERO`) are typed.
+        dim_of_name(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule engines
+// ---------------------------------------------------------------------------
+
+type RawFinding = (Rule, usize, String);
+
+fn op_is_cmp_or_addsub(op: &str) -> bool {
+    matches!(op, "+" | "-" | "<" | ">" | "<=" | ">=" | "==" | "!=")
+}
+
+/// True when `+`/`-` at token `i` is a binary operator (has a value-like
+/// token on its left), not a unary sign.
+fn is_binary_here(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &tokens[i - 1];
+    prev.kind == TokKind::Ident
+        || prev.kind == TokKind::Int
+        || prev.kind == TokKind::Float
+        || prev.is_op(")")
+        || prev.is_op("]")
+}
+
+/// True when the operand adjacent to the binary operator at `i` extends
+/// into a higher-precedence `*`/`/`/`%` product (`a + b * c`): a
+/// single-segment walk cannot infer the product's dimension, so the
+/// units check must stand down rather than misread `b` as the operand.
+fn product_adjacent(tokens: &[Token], i: usize, forward: bool) -> bool {
+    const LIMIT: usize = 120;
+    let stop_op = |s: &str| {
+        matches!(
+            s,
+            "{" | "}"
+                | ";"
+                | ","
+                | "="
+                | "=="
+                | "!="
+                | "<="
+                | ">="
+                | "<"
+                | ">"
+                | "+"
+                | "-"
+                | "&&"
+                | "||"
+                | "=>"
+                | ".."
+                | "..="
+        )
+    };
+    if forward {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let end = (i + LIMIT).min(tokens.len());
+        while j < end {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokKind::Op => depth += 1,
+                ")" | "]" if t.kind == TokKind::Op => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "/" | "%" if depth == 0 && t.kind == TokKind::Op => return true,
+                "*" if depth == 0 && t.kind == TokKind::Op && is_binary_here(tokens, j) => {
+                    return true;
+                }
+                s if depth == 0 && t.kind == TokKind::Op && stop_op(s) => return false,
+                _ => {}
+            }
+            j += 1;
+        }
+        false
+    } else {
+        let mut depth = 0usize;
+        let mut j = i;
+        let start = i.saturating_sub(LIMIT);
+        while j > start {
+            j -= 1;
+            let t = &tokens[j];
+            match t.text.as_str() {
+                ")" | "]" if t.kind == TokKind::Op => depth += 1,
+                "(" | "[" if t.kind == TokKind::Op => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "/" | "%" if depth == 0 && t.kind == TokKind::Op => return true,
+                "*" if depth == 0 && t.kind == TokKind::Op && is_binary_here(tokens, j) => {
+                    return true;
+                }
+                s if depth == 0 && t.kind == TokKind::Op && stop_op(s) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+fn scan_rules(ctx: &FileCtx<'_>, rules: &[Rule], out: &mut Vec<RawFinding>) {
+    let tokens = ctx.tokens;
+    let has = |r: Rule| rules.contains(&r);
+
+    for i in 0..tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        let line = t.line;
+
+        // wall-clock ------------------------------------------------------
+        if has(Rule::WallClock) && t.kind == TokKind::Ident && !ctx.in_use[i] {
+            if t.text == "Instant"
+                && i + 2 < tokens.len()
+                && tokens[i + 1].is_op("::")
+                && tokens[i + 2].is_ident("now")
+            {
+                out.push((
+                    Rule::WallClock,
+                    line,
+                    "wall-clock read `Instant::now` in sim-domain code".into(),
+                ));
+            }
+            if t.text == "SystemTime" {
+                out.push((
+                    Rule::WallClock,
+                    line,
+                    "wall-clock type `SystemTime` in sim-domain code".into(),
+                ));
+            }
+        }
+
+        // os-rng ----------------------------------------------------------
+        if has(Rule::OsRng) && t.kind == TokKind::Ident && !ctx.in_use[i] {
+            if matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng") {
+                out.push((
+                    Rule::OsRng,
+                    line,
+                    format!(
+                        "unseeded RNG source `{}` (randomness must come from the run seed)",
+                        t.text
+                    ),
+                ));
+            }
+            if t.text == "rand"
+                && i + 2 < tokens.len()
+                && tokens[i + 1].is_op("::")
+                && tokens[i + 2].is_ident("random")
+            {
+                out.push((
+                    Rule::OsRng,
+                    line,
+                    "unseeded RNG source `rand::random` (randomness must come from the run seed)"
+                        .into(),
+                ));
+            }
+        }
+
+        // unordered-iter: container.method(…) ----------------------------
+        if has(Rule::UnorderedIter)
+            && t.kind == TokKind::Ident
+            && ctx.containers.iter().any(|c| c == &t.text)
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_op(".")
+            && tokens[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&tokens[i + 2].text.as_str())
+            && tokens[i + 3].is_op("(")
+        {
+            out.push((
+                Rule::UnorderedIter,
+                tokens[i + 2].line,
+                format!(
+                    "iteration over hash-ordered container `{}` (use BTreeMap or sort first)",
+                    t.text
+                ),
+            ));
+        }
+
+        // unordered-iter: `for pat in [&][mut] path {` --------------------
+        if has(Rule::UnorderedIter) && t.is_ident("for") {
+            // Find the `in` of this loop header (patterns never contain
+            // the keyword), then require the subject to be a pure path.
+            let mut j = i + 1;
+            let mut found_in = None;
+            while j < tokens.len() && j < i + 64 {
+                if tokens[j].is_ident("in") {
+                    found_in = Some(j);
+                    break;
+                }
+                if tokens[j].is_op("{") || tokens[j].is_op(";") {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(in_at) = found_in {
+                let mut k = in_at + 1;
+                let mut pure_path = true;
+                let mut subject_names: Vec<&str> = Vec::new();
+                while k < tokens.len() && !tokens[k].is_op("{") {
+                    let s = &tokens[k];
+                    match s.kind {
+                        TokKind::Ident if s.text == "mut" => {}
+                        TokKind::Ident => subject_names.push(&s.text),
+                        TokKind::Int => {}
+                        TokKind::Op if matches!(s.text.as_str(), "&" | "." | "::") => {}
+                        _ => {
+                            pure_path = false;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                if pure_path {
+                    if let Some(name) = subject_names
+                        .iter()
+                        .find(|n| ctx.containers.iter().any(|c| c == **n))
+                    {
+                        out.push((
+                            Rule::UnorderedIter,
+                            tokens[in_at].line,
+                            format!(
+                                "iteration over hash-ordered container `{name}` \
+                                 (use BTreeMap or sort first)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // float-eq / units-mixing on binary operators ---------------------
+        if t.kind == TokKind::Op && op_is_cmp_or_addsub(&t.text) && i > 0 {
+            let is_eq = matches!(t.text.as_str(), "==" | "!=");
+            if (has(Rule::FloatEq) && is_eq) || has(Rule::UnitsMixing) {
+                let binary = if matches!(t.text.as_str(), "+" | "-") {
+                    is_binary_here(tokens, i)
+                } else {
+                    true
+                };
+                if binary {
+                    let lhs_dim = ctx.dim_before(i - 1);
+                    let rhs_dim = ctx.dim_after(i + 1);
+                    // units-mixing: both sides have a known, different
+                    // dimension and no conversion call bridged them.
+                    if has(Rule::UnitsMixing) {
+                        if let (Some(a), Some(b)) = (lhs_dim, rhs_dim) {
+                            if a != b
+                                && !product_adjacent(tokens, i, false)
+                                && !product_adjacent(tokens, i, true)
+                            {
+                                out.push((
+                                    Rule::UnitsMixing,
+                                    line,
+                                    format!(
+                                        "`{}` mixes {} with {} — insert an explicit \
+                                         conversion call",
+                                        t.text,
+                                        a.describe(),
+                                        b.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    if has(Rule::FloatEq) && is_eq {
+                        // A bare float literal is not enough: exact
+                        // comparison against a literal sentinel is a
+                        // legitimate pattern in math-kernel code (pivot
+                        // checks, degenerate-variance guards). The rule
+                        // targets *dimension-named* quantities.
+                        let suspicious = |side: usize, fwd: bool| -> bool {
+                            let name = if fwd {
+                                forward_last_name(tokens, side)
+                            } else {
+                                backward_last_name(tokens, side)
+                            };
+                            name.is_some_and(|n| {
+                                FLOAT_SUFFIXES.iter().any(|s| n.ends_with(s))
+                                    || n.contains("latency")
+                                    || n.contains("cost")
+                            })
+                        };
+                        if suspicious(i - 1, false)
+                            || (i + 1 < tokens.len() && suspicious(i + 1, true))
+                        {
+                            out.push((
+                                Rule::FloatEq,
+                                line,
+                                format!(
+                                    "exact float comparison `{}` on a latency/cost-style quantity",
+                                    t.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // units-mixing: bytes divided by bits-per-second ------------------
+        if has(Rule::UnitsMixing) && t.is_op("/") && i > 0 && i + 1 < tokens.len() {
+            let lhs = ctx.dim_before(i - 1);
+            let rhs = ctx.dim_after(i + 1);
+            if lhs == Some(Dim::Bytes) && matches!(rhs, Some(Dim::BitsPerSec) | Some(Dim::Gbps)) {
+                out.push((
+                    Rule::UnitsMixing,
+                    line,
+                    "dividing a byte count by a bits-per-second rate — multiply bytes \
+                     by 8.0 first (or use a `*_secs` conversion helper)"
+                        .into(),
+                ));
+            }
+        }
+
+        // nanos-narrowing -------------------------------------------------
+        if has(Rule::NanosNarrowing)
+            && t.is_ident("as")
+            && i > 0
+            && i + 1 < tokens.len()
+            && tokens[i + 1].kind == TokKind::Ident
+            && NARROW_TYPES.contains(&tokens[i + 1].text.as_str())
+        {
+            let lhs_is_nanos = ctx.dim_before(i - 1) == Some(Dim::Nanos)
+                || backward_last_name(tokens, i - 1)
+                    .is_some_and(|n| n.contains("nanos") || n.ends_with("_ns"));
+            if lhs_is_nanos {
+                out.push((
+                    Rule::NanosNarrowing,
+                    line,
+                    format!(
+                        "narrowing cast `as {}` on a nanosecond quantity",
+                        tokens[i + 1].text
+                    ),
+                ));
+            }
+        }
+
+        // unwrap ----------------------------------------------------------
+        if has(Rule::Unwrap) && t.is_op(".") && i + 2 < tokens.len() {
+            let m = &tokens[i + 1];
+            if m.is_ident("unwrap") && tokens[i + 2].is_op("(") {
+                out.push((
+                    Rule::Unwrap,
+                    m.line,
+                    "`.unwrap()` in library code (return a Result or use \
+                     expect(\"…invariant…\"))"
+                        .into(),
+                ));
+            }
+            if m.is_ident("expect")
+                && tokens[i + 2].is_op("(")
+                && i + 3 < tokens.len()
+                && tokens[i + 3].kind == TokKind::Str
+                && tokens[i + 3].text.is_empty()
+            {
+                out.push((
+                    Rule::Unwrap,
+                    m.line,
+                    "`.expect(\"\")` without an invariant message".into(),
+                ));
+            }
+        }
+
+        // sim-time-arith --------------------------------------------------
+        if has(Rule::SimTimeArith) && t.kind == TokKind::Ident {
+            // (a) SimTime::from_secs_f64(… as_secs_f64 …): a timestamp
+            //     reconstructed from another timestamp's float seconds.
+            if (t.text == "SimTime" || t.text == "SimSpan")
+                && i + 3 < tokens.len()
+                && tokens[i + 1].is_op("::")
+                && tokens[i + 2].is_ident("from_secs_f64")
+                && tokens[i + 3].is_op("(")
+            {
+                let end = skip_balanced(tokens, i + 3);
+                let arg_idents = ident_list(&tokens[i + 4..end.saturating_sub(1)]);
+                if arg_idents.iter().any(|n| {
+                    matches!(
+                        *n,
+                        "as_secs_f64" | "as_millis_f64" | "as_micros_f64" | "as_nanos"
+                    )
+                }) {
+                    out.push((
+                        Rule::SimTimeArith,
+                        line,
+                        format!(
+                            "`{}::from_secs_f64` rebuilt from another timestamp's float \
+                             seconds — stay in integer nanoseconds (SimTime ± SimSpan, \
+                             `mul_f64`, or a des-provided helper)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            // (b) `.as_nanos() as f64`: float math on a raw nanosecond
+            //     count (precision loss past 2^53 ns).
+            if t.text == "as_nanos"
+                && i + 4 < tokens.len()
+                && tokens[i + 1].is_op("(")
+                && tokens[i + 2].is_op(")")
+                && tokens[i + 3].is_ident("as")
+                && (tokens[i + 4].is_ident("f64") || tokens[i + 4].is_ident("f32"))
+            {
+                out.push((
+                    Rule::SimTimeArith,
+                    line,
+                    "float math on a raw nanosecond count (`as_nanos() as f64`) — use \
+                     `as_secs_f64()` for reporting or stay in integer nanoseconds"
+                        .into(),
+                ));
+            }
+        }
+
+        // nondet-reduce ---------------------------------------------------
+        if has(Rule::NondetReduce)
+            && t.kind == TokKind::Ident
+            && PAR_SOURCES.contains(&t.text.as_str())
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_op("(")
+        {
+            let mut j = skip_balanced(tokens, i + 1);
+            // Walk the method chain, skipping argument lists whole (a
+            // sequential `.sum()` inside a closure argument is fine).
+            while j + 1 < tokens.len() && tokens[j].is_op(".") {
+                let m = &tokens[j + 1];
+                if m.kind != TokKind::Ident {
+                    break;
+                }
+                let mut k = j + 2;
+                // Turbofish `::<…>` — collect the type idents.
+                let mut tf: Vec<String> = Vec::new();
+                if k + 1 < tokens.len() && tokens[k].is_op("::") && tokens[k + 1].is_op("<") {
+                    let mut depth = 1i64;
+                    let mut a = k + 2;
+                    while a < tokens.len() && depth > 0 {
+                        match tokens[a].text.as_str() {
+                            "<" => depth += 1,
+                            ">" => depth -= 1,
+                            ">>" => depth -= 2,
+                            _ => {
+                                if tokens[a].kind == TokKind::Ident {
+                                    tf.push(tokens[a].text.clone());
+                                }
+                            }
+                        }
+                        a += 1;
+                    }
+                    k = a;
+                }
+                let called = k < tokens.len() && tokens[k].is_op("(");
+                let args_end = if called { skip_balanced(tokens, k) } else { k };
+                match m.text.as_str() {
+                    "sum" | "product" if called => {
+                        let float_tf = tf.iter().any(|x| x == "f64" || x == "f32");
+                        if float_tf || tf.is_empty() {
+                            out.push((
+                                Rule::NondetReduce,
+                                m.line,
+                                format!(
+                                    "parallel `{}` reduction downstream of `{}` — float \
+                                     addition order varies with thread count; collect to \
+                                     an ordered Vec and reduce sequentially",
+                                    m.text, t.text
+                                ),
+                            ));
+                        }
+                    }
+                    "fold" | "reduce" | "fold_with" | "reduce_with" if called => {
+                        out.push((
+                            Rule::NondetReduce,
+                            m.line,
+                            format!(
+                                "parallel `{}` downstream of `{}` merges per-thread \
+                                 accumulators in nondeterministic order",
+                                m.text, t.text
+                            ),
+                        ));
+                    }
+                    "collect" if called && tf.iter().any(|x| HASH_TYPES.contains(&x.as_str())) => {
+                        out.push((
+                            Rule::NondetReduce,
+                            m.line,
+                            format!(
+                                "parallel `collect` into a hash-ordered container \
+                                 downstream of `{}`",
+                                t.text
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+                if !called {
+                    break;
+                }
+                j = args_end;
+            }
+        }
+
+        // lock-in-sim -----------------------------------------------------
+        if has(Rule::LockInSim)
+            && t.kind == TokKind::Ident
+            && !ctx.in_use[i]
+            && SYNC_PRIMITIVES.contains(&t.text.as_str())
+        {
+            out.push((
+                Rule::LockInSim,
+                line,
+                format!(
+                    "shared-state synchronization primitive `{}` in event-loop code — \
+                     sim state must be shard-local and merged deterministically",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The last path-segment name of the operand ending at token `end`
+/// (walking back over one balanced group if present).
+fn backward_last_name(tokens: &[Token], end: usize) -> Option<String> {
+    let t = &tokens[end];
+    if t.kind == TokKind::Ident {
+        return Some(t.text.clone());
+    }
+    if t.is_op(")") || t.is_op("]") {
+        let open = skip_balanced_back(tokens, end);
+        if open >= 1 && tokens[open - 1].kind == TokKind::Ident {
+            return Some(tokens[open - 1].text.clone());
+        }
+    }
+    None
+}
+
+/// The last path-segment name of the operand starting at token `start`.
+fn forward_last_name(tokens: &[Token], start: usize) -> Option<String> {
+    let mut i = start;
+    while i < tokens.len() && (tokens[i].is_op("&") || tokens[i].is_op("*") || tokens[i].is_op("-"))
+    {
+        i += 1;
+    }
+    if i >= tokens.len() || tokens[i].kind != TokKind::Ident {
+        return None;
+    }
+    let mut last = tokens[i].text.clone();
+    let mut j = i + 1;
+    while j + 1 < tokens.len() && (tokens[j].is_op(".") || tokens[j].is_op("::")) {
+        if tokens[j + 1].kind == TokKind::Ident {
+            last = tokens[j + 1].text.clone();
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    Some(last)
+}
+
+// ---------------------------------------------------------------------------
+// Waiver annotations
+// ---------------------------------------------------------------------------
+
 #[derive(Clone, Debug)]
 struct Allow {
     rule: Rule,
-    has_reason: bool,
+    reason: String,
+    line: usize,
 }
 
-/// Per-line view of a source file after preprocessing.
-struct SourceLine {
-    /// Code with string/char-literal interiors and comments blanked,
-    /// length-preserving so byte offsets line up with `raw`.
-    code: String,
-    /// The original text (used to read expect() messages).
-    raw: String,
-    /// Inside a `#[cfg(test)]` region.
-    in_test: bool,
-    /// Allow annotations written on this line.
-    allows: Vec<Allow>,
-    /// True when the line is comment/whitespace only (its annotations then
-    /// apply to the next code line).
-    comment_only: bool,
-}
-
-/// Length-preserving blanking of comments and literal interiors.
-///
-/// Keeps quote characters so `.expect("` remains matchable, blanks
-/// everything between them. `in_block` carries nested block-comment depth
-/// across lines.
-fn sanitize(line: &str, in_block: &mut u32) -> String {
-    let chars: Vec<char> = line.chars().collect();
-    let mut out: Vec<char> = Vec::with_capacity(chars.len());
-    let mut i = 0usize;
-    #[derive(PartialEq)]
-    enum Mode {
-        Code,
-        Str { raw_hashes: Option<u32> },
-    }
-    let mut mode = Mode::Code;
-    while i < chars.len() {
-        let c = chars[i];
-        if *in_block > 0 {
-            if c == '*' && chars.get(i + 1) == Some(&'/') {
-                *in_block -= 1;
-                out.push(' ');
-                out.push(' ');
-                i += 2;
-            } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                *in_block += 1;
-                out.push(' ');
-                out.push(' ');
-                i += 2;
-            } else {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        match mode {
-            Mode::Code => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: blank the rest of the line.
-                    while i < chars.len() {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    *in_block += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if c == '"' {
-                    out.push('"');
-                    mode = Mode::Str { raw_hashes: None };
-                    i += 1;
-                } else if c == 'r'
-                    && (chars.get(i + 1) == Some(&'"') || chars.get(i + 1) == Some(&'#'))
-                    && (i == 0 || !is_ident_char(chars[i - 1]))
-                {
-                    // Raw string: r"..." or r#"..."#.
-                    let mut hashes = 0u32;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        out.extend(std::iter::repeat_n(' ', j - i));
-                        out.push('"');
-                        mode = Mode::Str {
-                            raw_hashes: Some(hashes),
-                        };
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    // Char literal vs. lifetime: a literal closes with '.
-                    let close = if chars.get(i + 1) == Some(&'\\') {
-                        // Escaped char: find the next unescaped quote.
-                        let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' {
-                            j += 1;
-                        }
-                        (j < chars.len()).then_some(j)
-                    } else if i + 2 < chars.len() && chars[i + 2] == '\'' {
-                        Some(i + 2)
-                    } else {
-                        None
-                    };
-                    match close {
-                        Some(j) => {
-                            out.push('\'');
-                            out.extend(std::iter::repeat_n(' ', j - i - 1));
-                            out.push('\'');
-                            i = j + 1;
-                        }
-                        None => {
-                            // Lifetime: keep verbatim.
-                            out.push(c);
-                            i += 1;
-                        }
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            Mode::Str { raw_hashes } => {
-                match raw_hashes {
-                    None => {
-                        if c == '\\' {
-                            out.push(' ');
-                            out.push(' ');
-                            i += 2;
-                        } else if c == '"' {
-                            out.push('"');
-                            mode = Mode::Code;
-                            i += 1;
-                        } else {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    }
-                    Some(h) => {
-                        // Close on "### with exactly h hashes.
-                        if c == '"' {
-                            let mut j = i + 1;
-                            let mut seen = 0u32;
-                            while seen < h && chars.get(j) == Some(&'#') {
-                                seen += 1;
-                                j += 1;
-                            }
-                            if seen == h {
-                                out.push('"');
-                                out.extend(std::iter::repeat_n(' ', j - i - 1));
-                                mode = Mode::Code;
-                                i = j;
-                                continue;
-                            }
-                        }
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-            }
-        }
-    }
-    out.into_iter().collect()
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Parse every `simlint::allow(rule, reason)` on a raw line.
-fn parse_allows(raw: &str) -> Vec<Allow> {
+/// Parse every `simlint::allow(rule, reason)` in a comment line.
+fn parse_allows(line: usize, text: &str) -> Vec<Allow> {
     let mut allows = Vec::new();
-    let mut rest = raw;
+    let mut rest = text;
     while let Some(pos) = rest.find("simlint::allow(") {
         rest = &rest[pos + "simlint::allow(".len()..];
         let Some(close) = rest.find(')') else { break };
@@ -342,441 +1361,334 @@ fn parse_allows(raw: &str) -> Vec<Allow> {
         if let Some(rule) = Rule::from_name(rule_name) {
             allows.push(Allow {
                 rule,
-                has_reason: !reason.is_empty(),
+                reason: reason.to_string(),
+                line,
             });
         }
     }
     allows
 }
 
-/// Preprocess a file into sanitized lines with test-region and annotation
-/// metadata.
-fn preprocess(source: &str) -> Vec<SourceLine> {
-    let mut lines = Vec::new();
-    let mut in_block = 0u32;
-    let mut in_test = false;
-    let mut test_depth: i64 = 0;
-    let mut test_opened = false;
-    let mut pending_cfg_test = false;
-    for raw in source.lines() {
-        let raw_in_block = in_block > 0;
-        let code = sanitize(raw, &mut in_block);
-        let trimmed = code.trim();
-        let comment_only = trimmed.is_empty();
-        let line_is_test = if in_test {
-            true
-        } else {
-            if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
-                pending_cfg_test = true;
-                // `#[cfg(test)] mod t { … }` on one line: enter immediately.
-                let after_attr = trimmed.rsplit(']').next().unwrap_or("");
-                if !after_attr.trim().is_empty() {
-                    in_test = true;
-                    pending_cfg_test = false;
-                }
-                in_test
-            } else if pending_cfg_test && !comment_only {
-                if trimmed.starts_with("#[") {
-                    // Further attributes between cfg(test) and the item.
-                    false
-                } else {
-                    in_test = true;
-                    pending_cfg_test = false;
-                    true
-                }
-            } else {
-                false
-            }
-        };
-        if in_test {
-            for c in code.chars() {
-                match c {
-                    '{' => {
-                        test_depth += 1;
-                        test_opened = true;
-                    }
-                    '}' => test_depth -= 1,
-                    _ => {}
-                }
-            }
-            if test_opened && test_depth <= 0 {
-                in_test = false;
-                test_opened = false;
-                test_depth = 0;
-            }
-        }
-        lines.push(SourceLine {
-            code,
-            raw: raw.to_string(),
-            in_test: line_is_test || raw_in_block,
-            allows: parse_allows(raw),
-            comment_only,
-        });
-    }
-    lines
-}
+// ---------------------------------------------------------------------------
+// Per-file entry point
+// ---------------------------------------------------------------------------
 
-/// Hash-container variable/field names declared in a file's non-test code.
-fn hash_container_names(lines: &[SourceLine]) -> Vec<String> {
-    const TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
-    let mut names: Vec<String> = Vec::new();
-    for sl in lines {
-        if sl.in_test {
+/// Lint one source file under the given rule set. `file` is the label
+/// used in findings and waiver sites.
+pub fn lint_file(file: &str, source: &str, rules: &[Rule]) -> FileAnalysis {
+    let lexed = lex(source);
+    let ctx = FileCtx::new(&lexed);
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    scan_rules(&ctx, rules, &mut raw);
+
+    // One finding per (rule, line): several matches of the same rule on a
+    // line are one defect (and keep waiver counting stable).
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    raw.retain(|(rule, line, _)| {
+        let key = (Rule::ALL.iter().position(|r| r == rule).unwrap_or(0), *line);
+        seen.insert(key)
+    });
+    raw.sort_by_key(|(rule, line, _)| {
+        (*line, Rule::ALL.iter().position(|r| r == rule).unwrap_or(0))
+    });
+
+    // Resolve allow annotations to the code line they govern: their own
+    // line when it has code, else the next line (directly below).
+    let mut allows: Vec<Allow> = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments (`///`, `//!`) are rendered documentation — an
+        // allow written there is an example, not a waiver site.
+        let body = c.text.trim_start();
+        if body.starts_with("///") || body.starts_with("//!") {
             continue;
         }
-        let code = &sl.code;
-        for ty in TYPES {
-            let mut from = 0usize;
-            while let Some(rel) = code[from..].find(ty) {
-                let at = from + rel;
-                from = at + ty.len();
-                // Word boundary on both sides of the type name.
-                let before_ok = code[..at]
-                    .chars()
-                    .next_back()
-                    .map(|c| !is_ident_char(c))
-                    .unwrap_or(true);
-                let after_ok = code[at + ty.len()..]
-                    .chars()
-                    .next()
-                    .map(|c| !is_ident_char(c))
-                    .unwrap_or(true);
-                if !before_ok || !after_ok {
-                    continue;
-                }
-                // Declaration forms: `name: FxHashMap<…>` (field, param,
-                // typed let) or `let [mut] name = FxHashMap::default()`.
-                let head = code[..at].trim_end();
-                let name = if let Some(h) = head.strip_suffix(':') {
-                    last_ident(h)
-                } else if let Some(h) = head.strip_suffix('=') {
-                    last_ident(h.trim_end())
-                } else {
-                    None
-                };
-                if let Some(n) = name {
-                    if !names.contains(&n) {
-                        names.push(n);
-                    }
-                }
+        for mut a in parse_allows(c.line, &c.text) {
+            if !lexed.line_has_code(a.line) {
+                a.line += 1;
             }
+            allows.push(a);
         }
     }
-    names
-}
 
-/// The trailing identifier of a code fragment, if any.
-fn last_ident(s: &str) -> Option<String> {
-    let end = s.trim_end();
-    let tail: String = end
-        .chars()
-        .rev()
-        .take_while(|&c| is_ident_char(c))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    if tail.is_empty() || tail.chars().next().unwrap().is_ascii_digit() {
-        None
-    } else {
-        Some(tail)
-    }
-}
-
-/// Find word-boundary occurrences of `name` in `code`.
-fn occurrences(code: &str, name: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let mut from = 0usize;
-    while let Some(rel) = code[from..].find(name) {
-        let at = from + rel;
-        from = at + name.len();
-        let before_ok = code[..at]
-            .chars()
-            .next_back()
-            .map(|c| !is_ident_char(c))
-            .unwrap_or(true);
-        let after_ok = code[at + name.len()..]
-            .chars()
-            .next()
-            .map(|c| !is_ident_char(c))
-            .unwrap_or(true);
-        if before_ok && after_ok {
-            hits.push(at);
-        }
-    }
-    hits
-}
-
-const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".retain(",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
-];
-
-const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
-
-/// Identifier suffixes that mark latency/cost-style float quantities.
-const FLOAT_SUFFIXES: &[&str] = &[
-    "_s", "_secs", "_ms", "_us", "_bps", "_gbps", "_rps", "_util", "_frac", "latency", "cost",
-];
-
-/// Lint a single preprocessed file.
-fn lint_lines(file: &str, lines: &[SourceLine]) -> Vec<Finding> {
-    let containers = hash_container_names(lines);
+    let mut used = vec![false; allows.len()];
     let mut findings = Vec::new();
-    let mut prev_code_idx: Option<usize> = None;
-    for (idx, sl) in lines.iter().enumerate() {
-        if sl.in_test || sl.comment_only {
-            continue;
-        }
-        let code = sl.code.as_str();
-        let mut raw_findings: Vec<(Rule, String)> = Vec::new();
-
-        // wall-clock ------------------------------------------------------
-        if code.contains("Instant::now") {
-            raw_findings.push((
-                Rule::WallClock,
-                "wall-clock read `Instant::now` in sim-domain code".into(),
-            ));
-        }
-        if code.contains("SystemTime") {
-            raw_findings.push((
-                Rule::WallClock,
-                "wall-clock type `SystemTime` in sim-domain code".into(),
-            ));
-        }
-
-        // os-rng ----------------------------------------------------------
-        for pat in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
-            if code.contains(pat) {
-                raw_findings.push((
-                    Rule::OsRng,
-                    format!("unseeded RNG source `{pat}` (randomness must come from the run seed)"),
-                ));
+    for (rule, line, message) in raw {
+        let mut waived = false;
+        for (ai, a) in allows.iter().enumerate() {
+            if a.line == line && a.rule == rule && !a.reason.is_empty() {
+                used[ai] = true;
+                waived = true;
             }
         }
-
-        // unordered-iter --------------------------------------------------
-        let loop_header_end = if code.contains("for ") && code.contains(" in ") {
-            code.find('{').unwrap_or(code.len())
-        } else {
-            0
-        };
-        for name in &containers {
-            let mut flagged = false;
-            for at in occurrences(code, name) {
-                let after = &code[at + name.len()..];
-                if ITER_METHODS.iter().any(|m| after.starts_with(m)) {
-                    flagged = true;
-                }
-                // Direct loop subject: `for … in [&[mut]] path.name {`.
-                if !flagged && at < loop_header_end {
-                    if let Some(in_pos) = code.find(" in ") {
-                        if at > in_pos {
-                            flagged = true;
-                        }
-                    }
-                }
-                if flagged {
-                    raw_findings.push((
-                        Rule::UnorderedIter,
-                        format!(
-                            "iteration over hash-ordered container `{name}` \
-                             (use BTreeMap or sort first)"
-                        ),
-                    ));
-                    break;
-                }
-            }
-        }
-        // Multi-line method chains: a line that *starts* with an iteration
-        // method continues a chain whose receiver — the trailing
-        // identifier of the previous code line — may be a hash container.
-        let chain_head = code.trim_start();
-        if chain_head.starts_with('.') && ITER_METHODS.iter().any(|m| chain_head.starts_with(m)) {
-            if let Some(prev) = prev_code_idx {
-                if let Some(recv) = last_ident(&lines[prev].code) {
-                    if containers.contains(&recv) {
-                        raw_findings.push((
-                            Rule::UnorderedIter,
-                            format!(
-                                "iteration over hash-ordered container `{recv}` \
-                                 (chained; use BTreeMap or sort first)"
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
-
-        // float-eq --------------------------------------------------------
-        for (op_at, op) in find_eq_ops(code) {
-            let lhs = operand_before(code, op_at);
-            let rhs = operand_after(code, op_at + op.len());
-            let suspicious = |tok: &Option<String>| {
-                tok.as_deref().is_some_and(|t| {
-                    is_float_literal(t)
-                        || FLOAT_SUFFIXES
-                            .iter()
-                            .any(|s| t.rsplit('.').next().unwrap_or(t).ends_with(s))
-                })
-            };
-            if suspicious(&lhs) || suspicious(&rhs) {
-                raw_findings.push((
-                    Rule::FloatEq,
-                    format!(
-                        "exact float comparison `{} {} {}` on a latency/cost-style quantity",
-                        lhs.as_deref().unwrap_or("…"),
-                        op,
-                        rhs.as_deref().unwrap_or("…"),
-                    ),
-                ));
-            }
-        }
-
-        // nanos-narrowing -------------------------------------------------
-        if code.contains("nanos") || code.contains("Nanos") {
-            for ty in NARROW_TYPES {
-                let pat = format!(" as {ty}");
-                let mut from = 0usize;
-                while let Some(rel) = code[from..].find(&pat) {
-                    let at = from + rel;
-                    from = at + pat.len();
-                    let after_ok = code[at + pat.len()..]
-                        .chars()
-                        .next()
-                        .map(|c| !is_ident_char(c))
-                        .unwrap_or(true);
-                    if after_ok {
-                        raw_findings.push((
-                            Rule::NanosNarrowing,
-                            format!("narrowing cast `as {ty}` on a nanosecond quantity"),
-                        ));
-                    }
-                }
-            }
-        }
-
-        // unwrap ----------------------------------------------------------
-        {
-            let mut from = 0usize;
-            while let Some(rel) = code[from..].find(".unwrap()") {
-                from += rel + ".unwrap()".len();
-                raw_findings.push((
-                    Rule::Unwrap,
-                    "`.unwrap()` in library code (return a Result or use \
-                     expect(\"…invariant…\"))"
-                        .into(),
-                ));
-            }
-            let mut from = 0usize;
-            while let Some(rel) = code[from..].find(".expect(") {
-                let at = from + rel;
-                from = at + ".expect(".len();
-                // Inspect the original text: a non-empty string literal (or
-                // any non-literal expression) documents the invariant.
-                let arg = sl.raw.get(at + ".expect(".len()..).unwrap_or("");
-                let arg = arg.trim_start();
-                if arg.starts_with("\"\"") || arg.is_empty() || arg.starts_with(')') {
-                    raw_findings.push((
-                        Rule::Unwrap,
-                        "`.expect(\"\")` without an invariant message".into(),
-                    ));
-                }
-            }
-        }
-
-        // Apply allow annotations: same line, or a comment-only line above.
-        let mut active_allows: Vec<&Allow> = sl.allows.iter().collect();
-        if idx > 0 && lines[idx - 1].comment_only {
-            active_allows.extend(lines[idx - 1].allows.iter());
-        }
-        for (rule, message) in raw_findings {
-            let waived = active_allows.iter().any(|a| a.rule == rule && a.has_reason);
-            if !waived {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule,
-                    message,
-                });
-            }
-        }
-        prev_code_idx = Some(idx);
-    }
-    findings
-}
-
-/// Positions of `==` / `!=` operators (excluding `<=`, `>=`, `=>`, `===`).
-fn find_eq_ops(code: &str) -> Vec<(usize, &'static str)> {
-    let bytes = code.as_bytes();
-    let mut ops = Vec::new();
-    let mut i = 0usize;
-    while i + 1 < bytes.len() {
-        let two = &bytes[i..i + 2];
-        if two == b"==" {
-            let prev = i.checked_sub(1).map(|p| bytes[p] as char);
-            let next = bytes.get(i + 2).map(|&b| b as char);
-            let prev_bad = matches!(prev, Some('<') | Some('>') | Some('=') | Some('!'));
-            let next_bad = matches!(next, Some('='));
-            if !prev_bad && !next_bad {
-                ops.push((i, "=="));
-            }
-            i += 2;
-        } else if two == b"!=" {
-            if bytes.get(i + 2) != Some(&b'=') {
-                ops.push((i, "!="));
-            }
-            i += 2;
-        } else {
-            i += 1;
+        if !waived {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule,
+                message,
+            });
         }
     }
-    ops
-}
 
-/// The path-like token ending immediately before byte `at` (skipping space).
-fn operand_before(code: &str, at: usize) -> Option<String> {
-    let head = code[..at].trim_end();
-    let tok: String = head
-        .chars()
-        .rev()
-        .take_while(|&c| is_ident_char(c) || c == '.')
-        .collect::<Vec<_>>()
+    let waivers = allows
         .into_iter()
-        .rev()
+        .zip(used)
+        .map(|(a, u)| WaiverSite {
+            file: file.to_string(),
+            line: a.line,
+            rule: a.rule,
+            reason: a.reason,
+            used: u,
+        })
         .collect();
-    let tok = tok.trim_matches('.').to_string();
-    (!tok.is_empty()).then_some(tok)
+
+    FileAnalysis { findings, waivers }
 }
 
-/// The path-like token starting immediately after byte `at`.
-fn operand_after(code: &str, at: usize) -> Option<String> {
-    let tail = code.get(at..)?.trim_start();
-    let tok: String = tail
-        .chars()
-        .take_while(|&c| is_ident_char(c) || c == '.')
-        .collect();
-    let tok = tok.trim_matches('.').to_string();
-    (!tok.is_empty()).then_some(tok)
+// ---------------------------------------------------------------------------
+// Waiver ledger
+// ---------------------------------------------------------------------------
+
+/// One entry of `simlint.waivers.json`: up to `max_count` waivers of
+/// `rule` in `file`, with a shared reason.
+#[derive(Clone, Debug)]
+pub struct LedgerEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The waived rule.
+    pub rule: Rule,
+    /// Maximum number of waiver annotations allowed in this file.
+    pub max_count: usize,
+    /// Why these waivers are justified.
+    pub reason: String,
 }
 
-/// `0.0`, `1.5e3`, `12.` — but not `0` or an identifier.
-fn is_float_literal(tok: &str) -> bool {
-    let mut chars = tok.chars();
-    chars.next().is_some_and(|c| c.is_ascii_digit()) && tok.contains('.')
+/// The committed waiver ledger. `budget` pins the workspace-wide waiver
+/// total; CI fails when annotations exceed it, when an annotation has no
+/// ledger entry, or when a ledger entry has no live annotation — so the
+/// committed number can only be ratcheted down, never silently up.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    /// Total waiver annotations permitted across the workspace. Must
+    /// equal the sum of entry `max_count`s; may only shrink over time.
+    pub budget: usize,
+    /// Per-(file, rule) allowances.
+    pub entries: Vec<LedgerEntry>,
 }
 
-/// Lint one source file. `file` is the label used in findings.
-pub fn lint_file(file: &str, source: &str) -> Vec<Finding> {
-    lint_lines(file, &preprocess(source))
+impl Ledger {
+    /// Parse the ledger from its JSON text.
+    pub fn parse(text: &str) -> Result<Ledger, String> {
+        let v = json::parse(text)?;
+        let budget = v
+            .get("budget")
+            .and_then(Json::as_int)
+            .ok_or("ledger: missing integer `budget`")? as usize;
+        let mut entries = Vec::new();
+        for (i, e) in v
+            .get("waivers")
+            .and_then(Json::as_arr)
+            .ok_or("ledger: missing array `waivers`")?
+            .iter()
+            .enumerate()
+        {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("ledger: waiver #{i} missing string `{k}`"))
+            };
+            let file = field("file")?;
+            let rule_name = field("rule")?;
+            let rule = Rule::from_name(&rule_name).ok_or(format!(
+                "ledger: waiver #{i} has unknown rule `{rule_name}`"
+            ))?;
+            let reason = field("reason")?;
+            if reason.trim().is_empty() {
+                return Err(format!("ledger: waiver #{i} has an empty reason"));
+            }
+            let max_count = e
+                .get("max_count")
+                .and_then(Json::as_int)
+                .ok_or(format!("ledger: waiver #{i} missing integer `max_count`"))?
+                as usize;
+            entries.push(LedgerEntry {
+                file,
+                rule,
+                max_count,
+                reason,
+            });
+        }
+        Ok(Ledger { budget, entries })
+    }
+
+    /// Cross-check source waiver annotations against this ledger.
+    /// Returns human-readable violations; empty means the gate passes.
+    pub fn check(&self, sites: &[WaiverSite]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for s in sites {
+            if s.reason.is_empty() {
+                violations.push(format!(
+                    "{}:{}: simlint::allow({}) without a reason — the reason is mandatory",
+                    s.file, s.line, s.rule
+                ));
+            } else if !s.used {
+                violations.push(format!(
+                    "{}:{}: simlint::allow({}, …) never fires — delete the stale \
+                     annotation and shrink the ledger",
+                    s.file, s.line, s.rule
+                ));
+            }
+        }
+        // Count used, reasoned annotations per (file, rule).
+        let mut counts: Vec<(&str, Rule, usize)> = Vec::new();
+        for s in sites.iter().filter(|s| s.used && !s.reason.is_empty()) {
+            if let Some(c) = counts
+                .iter_mut()
+                .find(|(f, r, _)| *f == s.file && *r == s.rule)
+            {
+                c.2 += 1;
+            } else {
+                counts.push((&s.file, s.rule, 1));
+            }
+        }
+        for (file, rule, n) in &counts {
+            match self
+                .entries
+                .iter()
+                .find(|e| e.file == *file && e.rule == *rule)
+            {
+                None => violations.push(format!(
+                    "{file}: {n} simlint::allow({rule}) annotation(s) with no \
+                     simlint.waivers.json entry — add one with a reason (grows the \
+                     ledger, which review must approve)"
+                )),
+                Some(e) if *n > e.max_count => violations.push(format!(
+                    "{file}: {n} simlint::allow({rule}) annotation(s) exceed the \
+                     ledger max_count {}",
+                    e.max_count
+                )),
+                Some(_) => {}
+            }
+        }
+        for e in &self.entries {
+            if !counts.iter().any(|(f, r, _)| *f == e.file && *r == e.rule) {
+                violations.push(format!(
+                    "simlint.waivers.json: stale entry for {}:{} — the annotation is \
+                     gone; remove the entry and shrink the budget",
+                    e.file, e.rule
+                ));
+            }
+        }
+        let total: usize = self.entries.iter().map(|e| e.max_count).sum();
+        if total != self.budget {
+            violations.push(format!(
+                "simlint.waivers.json: budget {} != sum of entry max_counts {total} — \
+                 the budget is the ratchet and must track the entries exactly",
+                self.budget
+            ));
+        }
+        let live: usize = counts.iter().map(|(_, _, n)| n).sum();
+        if live > self.budget {
+            violations.push(format!(
+                "{live} live waiver annotation(s) exceed the ledger budget {} — the \
+                 budget may only shrink",
+                self.budget
+            ));
+        }
+        violations.sort();
+        violations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk + report
+// ---------------------------------------------------------------------------
+
+/// The complete result of a workspace lint run.
+#[derive(Default)]
+pub struct WorkspaceReport {
+    /// Surviving findings across all crates.
+    pub findings: Vec<Finding>,
+    /// Every waiver annotation across all crates.
+    pub waivers: Vec<WaiverSite>,
+    /// Ledger violations (empty when the ratchet gate passes).
+    pub ledger_violations: Vec<String>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// True when CI should pass.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.ledger_violations.is_empty()
+    }
+
+    /// Serialize to the machine-readable report schema (`--json`).
+    pub fn to_json(&self) -> Json {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("file", Json::Str(f.file.clone())),
+                    ("line", Json::Int(f.line as i64)),
+                    ("rule", Json::Str(f.rule.name().into())),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let waivers = self
+            .waivers
+            .iter()
+            .map(|w| {
+                Json::obj(vec![
+                    ("file", Json::Str(w.file.clone())),
+                    ("line", Json::Int(w.line as i64)),
+                    ("rule", Json::Str(w.rule.name().into())),
+                    ("reason", Json::Str(w.reason.clone())),
+                    ("used", Json::Bool(w.used)),
+                ])
+            })
+            .collect();
+        let profiles = PROFILES
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("crate", Json::Str(p.krate.into())),
+                    (
+                        "rules",
+                        Json::Arr(p.rules.iter().map(|r| Json::Str(r.name().into())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::Int(2)),
+            ("files_scanned", Json::Int(self.files_scanned as i64)),
+            ("profiles", Json::Arr(profiles)),
+            ("findings", Json::Arr(findings)),
+            ("waivers", Json::Arr(waivers)),
+            (
+                "ledger_violations",
+                Json::Arr(
+                    self.ledger_violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("findings", Json::Int(self.findings.len() as i64)),
+                    ("waivers", Json::Int(self.waivers.len() as i64)),
+                    ("clean", Json::Bool(self.is_clean())),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for determinism.
@@ -795,19 +1707,19 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint the `src/` tree of every sim-domain crate under `root`.
+/// Lint the `src/` tree of every profiled crate under `root`, then check
+/// the waiver ledger (`simlint.waivers.json` at the root).
 ///
-/// `tests/`, `benches/`, `examples/`, `vendor/`, and non-sim-domain crates
-/// are out of scope by construction: only `crates/<sim-domain>/src` is
-/// walked.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for krate in SIM_DOMAIN_CRATES {
-        let src = root.join("crates").join(krate).join("src");
+/// `tests/`, `benches/`, `examples/`, `vendor/`, and fixture files are out
+/// of scope by construction: only `crates/<name>/src` is walked.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for profile in PROFILES {
+        let src = root.join("crates").join(profile.krate).join("src");
         if !src.is_dir() {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
-                format!("sim-domain crate source missing: {}", src.display()),
+                format!("profiled crate source missing: {}", src.display()),
             ));
         }
         let mut files = Vec::new();
@@ -819,15 +1731,36 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 .unwrap_or(&path)
                 .display()
                 .to_string();
-            findings.extend(lint_file(&label, &source));
+            let fa = lint_file(&label, &source, profile.rules);
+            report.findings.extend(fa.findings);
+            report.waivers.extend(fa.waivers);
+            report.files_scanned += 1;
         }
     }
-    Ok(findings)
+    let ledger_path = root.join("simlint.waivers.json");
+    let ledger_text = fs::read_to_string(&ledger_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "cannot read {} (the committed waiver ledger is required): {e}",
+                ledger_path.display()
+            ),
+        )
+    })?;
+    match Ledger::parse(&ledger_text) {
+        Ok(ledger) => report.ledger_violations = ledger.check(&report.waivers),
+        Err(msg) => report.ledger_violations = vec![msg],
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        lint_file("t.rs", src, Rule::ALL).findings
+    }
 
     fn fixture(name: &str) -> String {
         let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -846,133 +1779,403 @@ mod tests {
             ("float_eq.rs", Rule::FloatEq),
             ("nanos_narrowing.rs", Rule::NanosNarrowing),
             ("unwrap.rs", Rule::Unwrap),
+            ("units_mixing.rs", Rule::UnitsMixing),
+            ("sim_time_arith.rs", Rule::SimTimeArith),
+            ("nondet_reduce.rs", Rule::NondetReduce),
+            ("lock_in_sim.rs", Rule::LockInSim),
         ];
         for (name, rule) in cases {
-            let findings = lint_file(name, &fixture(name));
+            let fs = findings(&fixture(name));
             assert_eq!(
-                findings.len(),
+                fs.len(),
                 1,
-                "{name}: expected exactly one finding, got {findings:?}"
+                "{name}: expected exactly one finding, got {fs:?}"
             );
-            assert_eq!(findings[0].rule, rule, "{name}: wrong rule: {findings:?}");
+            assert_eq!(fs[0].rule, rule, "{name}: wrong rule: {fs:?}");
         }
     }
 
+    /// The negative fixture demonstrates every sanctioned pattern passing.
     #[test]
-    fn allow_with_reason_suppresses() {
+    fn clean_fixture_is_clean() {
+        let fs = findings(&fixture("clean_conversions.rs"));
+        assert!(fs.is_empty(), "clean fixture has findings: {fs:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
         let src = "fn f() {\n    // simlint::allow(wall-clock, reporting only)\n    let t = std::time::Instant::now();\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        let fa = lint_file("t.rs", src, Rule::ALL);
+        assert!(fa.findings.is_empty());
+        assert_eq!(fa.waivers.len(), 1);
+        assert!(fa.waivers[0].used);
         let same_line =
             "fn f() { let t = std::time::Instant::now(); } // simlint::allow(wall-clock, reporting only)\n";
-        assert!(lint_file("t.rs", same_line).is_empty());
+        assert!(lint_file("t.rs", same_line, Rule::ALL).findings.is_empty());
     }
 
     #[test]
     fn allow_without_reason_does_not_suppress() {
         let src = "fn f() {\n    // simlint::allow(wall-clock)\n    let t = std::time::Instant::now();\n}\n";
-        let findings = lint_file("t.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::WallClock);
+        let fa = lint_file("t.rs", src, Rule::ALL);
+        assert_eq!(fa.findings.len(), 1);
+        assert_eq!(fa.findings[0].rule, Rule::WallClock);
+        assert!(!fa.waivers[0].used);
+        assert!(fa.waivers[0].reason.is_empty());
     }
 
     #[test]
     fn allow_for_other_rule_does_not_suppress() {
         let src = "fn f() {\n    // simlint::allow(os-rng, not the right rule)\n    let t = std::time::Instant::now();\n}\n";
-        assert_eq!(lint_file("t.rs", src).len(), 1);
+        assert_eq!(lint_file("t.rs", src, Rule::ALL).findings.len(), 1);
     }
 
     #[test]
     fn cfg_test_regions_are_skipped() {
         let src = "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = std::time::Instant::now();\n        let v: Option<u32> = None;\n        assert!(v.unwrap() > 0);\n    }\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
     }
 
     #[test]
     fn code_after_test_module_is_linted_again() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\npub fn late() { let t = std::time::Instant::now(); }\n";
-        let findings = lint_file("t.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::WallClock);
-        assert_eq!(findings[0].line, 6);
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::WallClock);
+        assert_eq!(fs[0].line, 6);
     }
 
     #[test]
     fn strings_and_comments_do_not_trigger() {
         let src = "fn f() -> &'static str {\n    // Instant::now() would be bad; so would x.unwrap().\n    \"Instant::now thread_rng .unwrap()\"\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
+        let raw = "fn f() -> &'static str {\n    r#\"Mutex par_iter sum::<f64> SystemTime\"#\n}\n";
+        assert!(findings(raw).is_empty());
+    }
+
+    #[test]
+    fn use_declarations_do_not_trigger_lock_rule() {
+        let src = "use std::sync::Mutex;\npub fn f() {}\n";
+        assert!(findings(src).is_empty());
     }
 
     #[test]
     fn expect_with_message_is_accepted() {
         let src = "fn f(v: Option<u32>) -> u32 {\n    v.expect(\"queue invariant: peeked entry exists\")\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
         let empty = "fn f(v: Option<u32>) -> u32 {\n    v.expect(\"\")\n}\n";
-        let findings = lint_file("t.rs", empty);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::Unwrap);
+        let fs = findings(empty);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::Unwrap);
     }
 
     #[test]
     fn btreemap_iteration_is_fine() {
         let src = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> u32 {\n    m.values().sum()\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
     }
 
     #[test]
     fn hash_lookup_without_iteration_is_fine() {
         let src = "use rustc_hash::FxHashMap;\nstruct S { m: FxHashMap<u32, u32> }\nimpl S {\n    fn get(&self, k: u32) -> Option<u32> { self.m.get(&k).copied() }\n    fn put(&mut self, k: u32, v: u32) { self.m.insert(k, v); }\n}\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
     }
 
     #[test]
     fn for_loop_over_hash_map_is_flagged() {
         let src = "use rustc_hash::FxHashMap;\nfn f(m: FxHashMap<u32, u32>) {\n    for (k, v) in &m {\n        drop((k, v));\n    }\n}\n";
-        let findings = lint_file("t.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::UnorderedIter);
-        assert_eq!(findings[0].line, 3);
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::UnorderedIter);
+        assert_eq!(fs[0].line, 3);
     }
 
     #[test]
     fn multiline_chain_over_hash_map_is_flagged() {
         let src = "use rustc_hash::FxHashMap;\nstruct S { switches: FxHashMap<u32, u32> }\nimpl S {\n    fn poll(&self) -> Vec<u32> {\n        self.switches\n            .values()\n            .copied()\n            .collect()\n    }\n}\n";
-        let findings = lint_file("t.rs", src);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].rule, Rule::UnorderedIter);
-        assert_eq!(findings[0].line, 6);
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::UnorderedIter);
+        assert_eq!(fs[0].line, 6);
     }
 
     #[test]
     fn float_eq_against_literal_is_flagged() {
         let src = "fn f(rate_bps: f64) -> bool { rate_bps == 0.0 }\n";
-        let findings = lint_file("t.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::FloatEq);
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::FloatEq);
     }
 
     #[test]
     fn integer_eq_is_fine() {
         let src = "fn f(count: u64, phase: u8) -> bool { count == 3 && phase != 1 }\n";
-        assert!(lint_file("t.rs", src).is_empty());
+        assert!(findings(src).is_empty());
     }
 
-    /// The workspace itself must lint clean — this is the same gate CI
-    /// runs via `cargo run -p simlint`.
+    #[test]
+    fn units_mixing_addition_is_flagged() {
+        let src = "fn f(wait_s: f64, delay_ns: f64) -> f64 { wait_s + delay_ns }\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::UnitsMixing);
+    }
+
+    #[test]
+    fn units_mixing_comparison_is_flagged() {
+        let src =
+            "fn f(sent_bytes: f64, budget_tokens: f64) -> bool { sent_bytes < budget_tokens }\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::UnitsMixing);
+    }
+
+    #[test]
+    fn units_mixing_bytes_over_bps_is_flagged() {
+        let src = "fn f(chunk_bytes: f64, link_bps: f64) -> f64 { chunk_bytes / link_bps }\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::UnitsMixing);
+    }
+
+    #[test]
+    fn units_mixing_conversion_call_is_sanctioned() {
+        // A `*_secs` conversion call declares its result dimension.
+        let src = "fn f(wait_s: f64, delay_ns: u64) -> f64 { wait_s + nanos_to_secs(delay_ns) }\nfn nanos_to_secs(ns: u64) -> f64 { ns as f64 / 1e9 }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn units_mixing_same_dim_is_fine() {
+        let src = "fn f(a_s: f64, b_s: f64) -> f64 { a_s + b_s }\nfn g(x_bytes: u64, y_bytes: u64) -> bool { x_bytes < y_bytes }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn units_mixing_literal_is_fine() {
+        let src = "fn f(chunk_bytes: f64) -> f64 { chunk_bytes * 8.0 / 1e9 }\nfn g(t_s: f64) -> bool { t_s > 0.5 }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn units_mixing_dim_flows_through_cast() {
+        let src = "fn f(bytes: u64, rate_bps: f64) -> f64 { bytes as f64 / rate_bps }\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::UnitsMixing);
+    }
+
+    #[test]
+    fn sim_time_roundtrip_is_flagged() {
+        let src = "use hs_des::{SimSpan, SimTime};\nfn f(now: SimTime, dt_s: f64) -> SimTime {\n    SimTime::from_secs_f64(now.as_secs_f64() + dt_s)\n}\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::SimTimeArith);
+    }
+
+    #[test]
+    fn sim_time_integer_math_is_fine() {
+        let src = "use hs_des::{SimSpan, SimTime};\nfn f(now: SimTime, dt_s: f64) -> SimTime {\n    now + SimSpan::from_secs_f64(dt_s)\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn as_secs_for_reporting_is_fine() {
+        let src = "use hs_des::SimTime;\nfn f(now: SimTime, started: SimTime) -> f64 {\n    now.saturating_since(started).as_secs_f64()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn par_sum_f64_is_flagged() {
+        let src = "use rayon::prelude::*;\nfn f(xs: &[f64]) -> f64 {\n    xs.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::NondetReduce);
+    }
+
+    #[test]
+    fn par_ordered_collect_is_fine() {
+        let src = "use rayon::prelude::*;\nfn f(xs: &[f64]) -> f64 {\n    let v: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();\n    v.iter().sum::<f64>()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn sequential_sum_inside_par_closure_is_fine() {
+        let src = "use rayon::prelude::*;\nfn f(xs: &[Vec<f64>]) -> Vec<f64> {\n    xs.par_iter().map(|v| v.iter().sum::<f64>()).collect()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn par_fold_is_flagged() {
+        let src = "use rayon::prelude::*;\nfn f(xs: &[u64]) -> u64 {\n    xs.par_iter().fold(|| 0u64, |a, b| a + b).sum()\n}\n";
+        let fs = findings(src);
+        assert!(
+            fs.iter().any(|f| f.rule == Rule::NondetReduce),
+            "fold not flagged: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn lock_in_sim_field_is_flagged() {
+        let src = "struct S { pending: std::sync::Mutex<Vec<u64>> }\n";
+        let fs = findings(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::LockInSim);
+    }
+
+    #[test]
+    fn profile_gating_respected() {
+        // Same source, different rule sets: obs-style profile ignores
+        // Mutex but still catches unwrap.
+        let src =
+            "struct S { m: std::sync::Mutex<u32> }\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let all = lint_file("t.rs", src, Rule::ALL).findings;
+        assert_eq!(all.len(), 2);
+        let obs = lint_file("t.rs", src, &[Rule::Unwrap]).findings;
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn ledger_round_trip_and_check() {
+        let text = r#"{
+  "budget": 2,
+  "waivers": [
+    {"file": "crates/a/src/lib.rs", "rule": "wall-clock", "max_count": 1, "reason": "reporting only"},
+    {"file": "crates/b/src/net.rs", "rule": "float-eq", "max_count": 1, "reason": "sentinel"}
+  ]
+}"#;
+        let ledger = Ledger::parse(text).expect("ledger parses");
+        assert_eq!(ledger.budget, 2);
+        let sites = vec![
+            WaiverSite {
+                file: "crates/a/src/lib.rs".into(),
+                line: 10,
+                rule: Rule::WallClock,
+                reason: "reporting only".into(),
+                used: true,
+            },
+            WaiverSite {
+                file: "crates/b/src/net.rs".into(),
+                line: 20,
+                rule: Rule::FloatEq,
+                reason: "sentinel".into(),
+                used: true,
+            },
+        ];
+        assert!(ledger.check(&sites).is_empty());
+    }
+
+    #[test]
+    fn ledger_flags_unlisted_and_stale_and_budget() {
+        let ledger = Ledger {
+            budget: 3,
+            entries: vec![LedgerEntry {
+                file: "crates/a/src/lib.rs".into(),
+                rule: Rule::WallClock,
+                max_count: 1,
+                reason: "reporting".into(),
+            }],
+        };
+        // Unlisted annotation + stale entry + budget mismatch, all at once.
+        let sites = vec![WaiverSite {
+            file: "crates/b/src/net.rs".into(),
+            line: 5,
+            rule: Rule::FloatEq,
+            reason: "sentinel".into(),
+            used: true,
+        }];
+        let v = ledger.check(&sites);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|m| m.contains("no simlint.waivers.json entry")));
+        assert!(v.iter().any(|m| m.contains("stale entry")));
+        assert!(v.iter().any(|m| m.contains("budget 3 != sum")));
+    }
+
+    #[test]
+    fn ledger_flags_stale_annotation() {
+        let ledger = Ledger {
+            budget: 1,
+            entries: vec![LedgerEntry {
+                file: "t.rs".into(),
+                rule: Rule::WallClock,
+                max_count: 1,
+                reason: "x".into(),
+            }],
+        };
+        let sites = vec![WaiverSite {
+            file: "t.rs".into(),
+            line: 3,
+            rule: Rule::WallClock,
+            reason: "x".into(),
+            used: false,
+        }];
+        let v = ledger.check(&sites);
+        assert!(v.iter().any(|m| m.contains("never fires")), "{v:?}");
+    }
+
+    #[test]
+    fn report_json_schema_round_trips() {
+        let report = WorkspaceReport {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: Rule::UnitsMixing,
+                message: "`+` mixes bytes with seconds".into(),
+            }],
+            waivers: vec![WaiverSite {
+                file: "crates/y/src/lib.rs".into(),
+                line: 9,
+                rule: Rule::Unwrap,
+                reason: "lock poisoning recovered".into(),
+                used: true,
+            }],
+            ledger_violations: vec![],
+            files_scanned: 7,
+        };
+        let text = json::to_string_pretty(&report.to_json(), 0);
+        let back = json::parse(&text).expect("report JSON parses");
+        assert_eq!(back.get("version").and_then(Json::as_int), Some(2));
+        assert_eq!(back.get("files_scanned").and_then(Json::as_int), Some(7));
+        let fs = back
+            .get("findings")
+            .and_then(Json::as_arr)
+            .expect("findings");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(
+            fs[0].get("rule").and_then(Json::as_str),
+            Some("units-mixing")
+        );
+        assert_eq!(fs[0].get("line").and_then(Json::as_int), Some(3));
+        let ws = back.get("waivers").and_then(Json::as_arr).expect("waivers");
+        assert_eq!(ws[0].get("used"), Some(&Json::Bool(true)));
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("clean")),
+            Some(&Json::Bool(false))
+        );
+    }
+
+    /// The workspace itself must lint clean — the same gate CI runs via
+    /// `cargo run -p simlint`.
     #[test]
     fn workspace_is_clean() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .parent()
             .and_then(Path::parent)
             .expect("simlint lives at <root>/crates/simlint");
-        let findings = lint_workspace(root).expect("workspace walk succeeds");
+        let report = lint_workspace(root).expect("workspace walk succeeds");
         assert!(
-            findings.is_empty(),
-            "workspace has simlint findings:\n{}",
-            findings
+            report.is_clean(),
+            "workspace has simlint findings/violations:\n{}\n{}",
+            report
+                .findings
                 .iter()
                 .map(|f| f.to_string())
                 .collect::<Vec<_>>()
-                .join("\n")
+                .join("\n"),
+            report.ledger_violations.join("\n")
         );
     }
 }

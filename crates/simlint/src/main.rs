@@ -2,22 +2,32 @@
 //!
 //! Modes:
 //!
-//! * `simlint` — lint the sim-domain crates of the enclosing workspace
+//! * `simlint` — lint every profiled crate of the enclosing workspace
 //!   (found by walking up from the current directory to the first
-//!   `Cargo.toml` containing `[workspace]`). Exit 0 when clean, 1 when any
-//!   finding is reported.
-//! * `simlint --file <path>…` — lint specific files as sim-domain code
-//!   (used to demonstrate that each known-bad fixture fails).
+//!   `Cargo.toml` containing `[workspace]`) and cross-check the committed
+//!   waiver ledger `simlint.waivers.json`.
+//! * `simlint --json <path>` — same, additionally writing the
+//!   machine-readable report (`-` writes to stdout).
+//! * `simlint --file <path>…` — lint specific files under the full rule
+//!   set (triage aid; no ledger check).
 //! * `simlint --check-fixtures` — lint every file in this crate's
-//!   `fixtures/` directory and verify each fires its named rule exactly
-//!   once; exit 0 only if all behave.
-//! * `simlint --list-rules` — print the rule table.
+//!   `fixtures/` directory: each `<rule>.rs` must fire its named rule
+//!   exactly once under ALL rules, and each `clean_*.rs` negative
+//!   fixture must produce no findings.
+//! * `simlint --list-rules` — print the rule table and profiles.
+//!
+//! Exit codes (stable; CI scripts against them):
+//!
+//! * `0` — clean: no findings, no ledger violations.
+//! * `1` — findings and/or ledger violations were reported.
+//! * `2` — usage or I/O error (bad flag, unreadable file, missing
+//!   workspace root or waiver ledger).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use simlint::{lint_file, lint_workspace, Rule, SIM_DOMAIN_CRATES};
+use simlint::{json, lint_file, lint_workspace, Rule, WorkspaceReport, PROFILES};
 
 fn find_workspace_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
@@ -41,7 +51,7 @@ fn lint_paths(paths: &[String]) -> ExitCode {
     for p in paths {
         match fs::read_to_string(p) {
             Ok(source) => {
-                for f in lint_file(p, &source) {
+                for f in lint_file(p, &source, Rule::ALL).findings {
                     println!("{f}");
                     total += 1;
                 }
@@ -72,17 +82,12 @@ fn check_fixtures() -> ExitCode {
     };
     entries.sort();
     let mut bad = 0usize;
+    let mut covered: Vec<Rule> = Vec::new();
     for path in entries
         .iter()
         .filter(|p| p.extension().is_some_and(|e| e == "rs"))
     {
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
-        let expect = Rule::from_name(&stem.replace('_', "-"));
-        let Some(expect) = expect else {
-            eprintln!("simlint: fixture {stem}.rs does not name a rule");
-            bad += 1;
-            continue;
-        };
         let source = match fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -91,9 +96,25 @@ fn check_fixtures() -> ExitCode {
                 continue;
             }
         };
-        let findings = lint_file(&path.display().to_string(), &source);
+        let findings = lint_file(&path.display().to_string(), &source, Rule::ALL).findings;
+        if stem.starts_with("clean_") {
+            if findings.is_empty() {
+                println!("fixture {stem}.rs: clean under all rules, as expected");
+            } else {
+                eprintln!("fixture {stem}.rs: negative fixture produced findings: {findings:?}");
+                bad += 1;
+            }
+            continue;
+        }
+        let expect = Rule::from_name(&stem.replace('_', "-"));
+        let Some(expect) = expect else {
+            eprintln!("simlint: fixture {stem}.rs does not name a rule");
+            bad += 1;
+            continue;
+        };
         if findings.len() == 1 && findings[0].rule == expect {
             println!("fixture {stem}.rs: fires [{expect}] exactly once, as expected");
+            covered.push(expect);
         } else {
             eprintln!(
                 "fixture {stem}.rs: expected exactly one [{expect}] finding, got: {findings:?}"
@@ -101,8 +122,14 @@ fn check_fixtures() -> ExitCode {
             bad += 1;
         }
     }
+    for rule in Rule::ALL {
+        if !covered.contains(rule) {
+            eprintln!("simlint: no fixture covers rule [{rule}]");
+            bad += 1;
+        }
+    }
     if bad == 0 {
-        println!("simlint: all fixtures behave");
+        println!("simlint: all fixtures behave, every rule covered");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -110,14 +137,72 @@ fn check_fixtures() -> ExitCode {
 }
 
 fn list_rules() {
-    println!(
-        "simlint rules (sim-domain crates: {}):",
-        SIM_DOMAIN_CRATES.join(", ")
-    );
+    println!("simlint rules:");
     for r in Rule::ALL {
         println!("  {:<16} {}", r.name(), r.rationale());
     }
-    println!("waiver syntax: // simlint::allow(<rule>, <reason>)   (reason mandatory)");
+    println!("\nper-crate profiles:");
+    for p in PROFILES {
+        let names: Vec<&str> = p.rules.iter().map(|r| r.name()).collect();
+        println!("  {:<12} {}", p.krate, names.join(", "));
+    }
+    println!(
+        "\nwaiver syntax: // simlint::allow(<rule>, <reason>)   (reason mandatory;\n\
+         every waiver must also appear in simlint.waivers.json — see DESIGN.md §14)"
+    );
+}
+
+fn run_workspace(json_out: Option<&str>) -> ExitCode {
+    let Some(root) = find_workspace_root() else {
+        eprintln!("simlint: no workspace root found above the current directory");
+        return ExitCode::from(2);
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_out {
+        let text = json::to_string_pretty(&report.to_json(), 0) + "\n";
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = fs::write(path, &text) {
+            eprintln!("simlint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print_report(&report);
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_report(report: &WorkspaceReport) {
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for v in &report.ledger_violations {
+        println!("ledger: {v}");
+    }
+    let used = report.waivers.iter().filter(|w| w.used).count();
+    if report.is_clean() {
+        println!(
+            "simlint: clean — {} files across {} crates, {} waiver(s) within the ledger budget",
+            report.files_scanned,
+            PROFILES.len(),
+            used
+        );
+    } else {
+        println!(
+            "simlint: {} finding(s), {} ledger violation(s)",
+            report.findings.len(),
+            report.ledger_violations.len()
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -136,35 +221,20 @@ fn main() -> ExitCode {
                 lint_paths(&args[1..])
             }
         }
+        Some("--json") => match args.get(1) {
+            Some(path) if args.len() == 2 => run_workspace(Some(path)),
+            _ => {
+                eprintln!("simlint: --json requires exactly one output path (or `-`)");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
             eprintln!(
                 "simlint: unknown argument `{other}` \
-                 (try --file, --check-fixtures, --list-rules)"
+                 (try --json, --file, --check-fixtures, --list-rules)"
             );
             ExitCode::from(2)
         }
-        None => {
-            let Some(root) = find_workspace_root() else {
-                eprintln!("simlint: no workspace root found above the current directory");
-                return ExitCode::from(2);
-            };
-            match lint_workspace(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!("simlint: clean (crates: {})", SIM_DOMAIN_CRATES.join(", "));
-                    ExitCode::SUCCESS
-                }
-                Ok(findings) => {
-                    for f in &findings {
-                        println!("{f}");
-                    }
-                    println!("simlint: {} finding(s)", findings.len());
-                    ExitCode::FAILURE
-                }
-                Err(e) => {
-                    eprintln!("simlint: {e}");
-                    ExitCode::from(2)
-                }
-            }
-        }
+        None => run_workspace(None),
     }
 }

@@ -254,7 +254,7 @@ impl Trace {
                 .requests
                 .iter()
                 .map(|r| Request {
-                    arrival: SimTime::from_secs_f64(r.arrival.as_secs_f64() * factor),
+                    arrival: r.arrival.mul_f64(factor),
                     ..*r
                 })
                 .collect(),
@@ -307,6 +307,31 @@ mod tests {
         let slow = t.with_time_scale(2.0);
         assert!((slow.empirical_rate() - t.empirical_rate() / 2.0).abs() < 0.2);
         assert_eq!(slow.len(), t.len());
+    }
+
+    #[test]
+    fn time_scale_is_exact_in_the_nanos_domain() {
+        // Scaling stays in integer nanoseconds: an odd arrival doubled
+        // is exactly doubled, and a representable ×1.5 rounds exactly
+        // once. The old f64-seconds round-trip drifted by 1 ns on
+        // arrivals like these, which breaks bit-identical replays of
+        // rate-swept traces.
+        let t = Trace {
+            requests: vec![Request {
+                id: RequestId(0),
+                arrival: SimTime::from_nanos(1_000_000_013),
+                input_tokens: 8,
+                output_tokens: 8,
+            }],
+        };
+        assert_eq!(
+            t.with_time_scale(2.0).requests[0].arrival.as_nanos(),
+            2_000_000_026
+        );
+        assert_eq!(
+            t.with_time_scale(1.5).requests[0].arrival.as_nanos(),
+            1_500_000_020
+        );
     }
 
     #[test]
